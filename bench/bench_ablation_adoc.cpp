@@ -1,0 +1,85 @@
+// Ablation: AdOC adaptive online compression (paper Section 3.2).
+//
+// Claim: compression wins on slow networks and loses on fast ones, and
+// the *adaptive* controller tracks the right choice by sensing the
+// transmit backlog.  Sweep: payload compressibility x network class x
+// {adaptive, pinned-stored, pinned-lz}.
+#include "adapters/adoc.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace bench;
+namespace cz = padico::compress;
+
+pc::Bytes text_payload(std::size_t n) {
+  pc::Bytes b;
+  const std::string w = "simulation state vector dump: temperature pressure ";
+  while (b.size() < n) b.insert(b.end(), w.begin(), w.end());
+  b.resize(n);
+  return b;
+}
+
+pc::Bytes random_payload(std::size_t n) {
+  pc::Rng rng(99);
+  pc::Bytes b(n);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+enum class Mode { adaptive, stored, lz };
+
+double run(const sn::LinkModel& model, const pc::Bytes& payload, Mode mode) {
+  gr::Grid grid;
+  grid.add_nodes(2);
+  sn::NetId net = grid.add_network(model);
+  grid.attach(net, 0);
+  grid.attach(net, 1);
+  grid.build();
+
+  LinkPair p = make_link_pair(grid, "adoc", 5000);
+  auto* adoc = dynamic_cast<padico::vlink::AdocLink*>(p.a.get());
+  if (mode == Mode::stored) adoc->pin_level(cz::Level::stored);
+  if (mode == Mode::lz) adoc->pin_level(cz::Level::lz);
+
+  const int count = 16;
+  pc::SimTime t0 = grid.engine().now(), t1 = 0;
+  bool done = false;
+  auto server = [&]() -> pc::Task {
+    co_await p.b->read_n(payload.size() * count);
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto ts = server();
+  for (int i = 0; i < count; ++i) p.a->post_write(pc::view_of(payload));
+  grid.engine().run_while_pending([&] { return done; });
+  return mbps(static_cast<std::uint64_t>(payload.size()) * count, t1 - t0);
+}
+
+void sweep(const char* net_name, const sn::LinkModel& model) {
+  const std::size_t n = 128 * 1024;
+  std::printf("%-22s %-14s %10.3f %10.3f %10.3f\n", net_name, "text",
+              run(model, text_payload(n), Mode::adaptive),
+              run(model, text_payload(n), Mode::stored),
+              run(model, text_payload(n), Mode::lz));
+  std::printf("%-22s %-14s %10.3f %10.3f %10.3f\n", net_name, "random",
+              run(model, random_payload(n), Mode::adaptive),
+              run(model, random_payload(n), Mode::stored),
+              run(model, random_payload(n), Mode::lz));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: AdOC adaptive online compression (MB/s)\n\n");
+  std::printf("%-22s %-14s %10s %10s %10s\n", "network", "payload",
+              "adaptive", "stored", "always-lz");
+  sweep("Ethernet-100", sn::profiles::ethernet100());
+  sweep("VTHD-WAN", sn::profiles::vthd_wan());
+  sweep("Internet (lossy)", sn::profiles::transcontinental_internet());
+  std::printf("\n# expected shape: on slow nets, compression multiplies "
+              "effective bandwidth\n# for compressible data and is harmless "
+              "for random data (falls back to\n# stored frames); the "
+              "adaptive controller tracks the better choice.\n");
+  return 0;
+}

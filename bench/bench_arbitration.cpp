@@ -1,0 +1,101 @@
+// Section 4.1 arbitration reproduction (qualitative claims of the paper):
+//   - several middleware systems run concurrently on the same node pair
+//     and network without starving each other ("any combination of them
+//     may be used at the same time");
+//   - the SysIO/MadIO interleaving policy is dynamically tunable.
+//
+// Workload: an MPI ping-pong stream (parallel paradigm, MadIO) and an ORB
+// request stream + SOAP polling (distributed paradigm) run concurrently.
+#include "common.hpp"
+#include "middleware/soap/soap.hpp"
+
+namespace {
+
+using namespace bench;
+
+struct ConcurrentResult {
+  double mpi_mbps;
+  double orb_req_per_s;
+  double soap_calls_per_s;
+};
+
+ConcurrentResult run_concurrent(int sys_weight, int mad_weight) {
+  gr::Grid grid;
+  attach_testbed(grid);
+  grid.build();
+  grid.node(0).arbitration().set_policy(sys_weight, mad_weight);
+  grid.node(1).arbitration().set_policy(sys_weight, mad_weight);
+
+  // MPI stream over the SAN.
+  MpiPair mpi = make_mpi_pair(grid, 0x70, 4800);
+  // ORB over the SAN too (both share MadIO + the Myrinet port).
+  OrbPair orbp = make_orb_pair(grid, padico::orb::profiles::omniorb4(), 4810);
+  // SOAP monitor over Ethernet (SysIO side).
+  padico::soap::SoapServer soap_srv(grid.node(1).host(), grid.node(1).vlink(),
+                                    4820);
+  soap_srv.register_action("poll", [](const padico::soap::Params&) {
+    return padico::soap::Params{{"ok", "1"}};
+  });
+  soap_srv.start();
+  padico::soap::SoapClient soap_cli(grid.node(0).host(), grid.node(0).vlink());
+
+  const pc::Duration window = pc::milliseconds(50);
+  const pc::SimTime deadline = grid.engine().now() + window;
+
+  // MPI: stream 64 KB messages for the whole window.
+  std::uint64_t mpi_bytes = 0;
+  auto mpi_sender = [&]() -> pc::Task {
+    pc::Bytes payload(64 * 1024, 1);
+    while (grid.engine().now() < deadline) {
+      mpi.c0->isend(1, 0, pc::view_of(payload));
+      auto m = co_await mpi.c1->recv(0, 0);
+      mpi_bytes += m.data.size();
+    }
+  };
+  // ORB: back-to-back small requests.
+  int orb_reqs = 0;
+  auto orb_client = [&]() -> pc::Task {
+    co_await orbp.client->invoke(orbp.sink, "null", {});
+    while (grid.engine().now() < deadline) {
+      co_await orbp.client->invoke(orbp.sink, "null", {});
+      ++orb_reqs;
+    }
+  };
+  // SOAP: periodic polling.
+  int soap_calls = 0;
+  auto soap_poller = [&]() -> pc::Task {
+    while (grid.engine().now() < deadline) {
+      auto r = co_await soap_cli.call({1, 4820}, "poll", {});
+      if (r.status.ok()) ++soap_calls;
+      co_await pc::sleep_for(grid.engine(), pc::milliseconds(2));
+    }
+  };
+  auto t1 = mpi_sender();
+  auto t2 = orb_client();
+  auto t3 = soap_poller();
+  grid.engine().run_until_idle();
+
+  ConcurrentResult r;
+  r.mpi_mbps = mbps(mpi_bytes, window);
+  r.orb_req_per_s = orb_reqs / pc::to_seconds(window);
+  r.soap_calls_per_s = soap_calls / pc::to_seconds(window);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Section 4.1: arbitration — MPI + CORBA + SOAP concurrently "
+              "on one node pair\n\n");
+  std::printf("%22s %12s %14s %14s\n", "policy (sys:mad)", "MPI MB/s",
+              "ORB req/s", "SOAP calls/s");
+  for (auto [sw, mw] : {std::pair{1, 1}, {1, 4}, {4, 1}}) {
+    ConcurrentResult r = run_concurrent(sw, mw);
+    std::printf("%20d:%d %12.1f %14.0f %14.0f\n", sw, mw, r.mpi_mbps,
+                r.orb_req_per_s, r.soap_calls_per_s);
+  }
+  std::printf("\n# every policy keeps all three middleware progressing "
+              "(no starvation);\n# skewing the interleave trades MPI "
+              "throughput against distributed-side reactivity.\n");
+  return 0;
+}

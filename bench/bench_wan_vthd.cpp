@@ -1,0 +1,87 @@
+// Section 5 WAN experiment reproduction: VTHD, the French experimental
+// high-bandwidth WAN.
+//
+// Paper: "All middleware systems get roughly the same performance, namely
+// a bandwidth of 9 MB/s and a 8 ms latency ...  When activating Parallel
+// Streams, the bandwidth goes up to 12 MB/s which is the maximum possible
+// given the fact that each node is connected to VTHD through
+// Ethernet-100."
+#include "common.hpp"
+
+namespace {
+
+using namespace bench;
+
+void wan_grid(gr::Grid& grid, int pstream_width = 4) {
+  grid.add_nodes(2);
+  sn::NetId wan = grid.add_network(sn::profiles::vthd_wan());
+  grid.attach(wan, 0);
+  grid.attach(wan, 1);
+  gr::BuildOptions opts;
+  opts.pstream_width = pstream_width;
+  grid.build(opts);
+}
+
+double middleware_bw(const std::string& which) {
+  gr::Grid grid;
+  wan_grid(grid);
+  const std::size_t size = 256 * 1024;
+  if (which == "mpi") {
+    // Force plain TCP (the paper's baseline measurement).
+    grid.node(0).chooser().set_wan_method("sysio");
+    grid.node(1).chooser().set_wan_method("sysio");
+    MpiPair p = make_mpi_pair(grid, 0x60, 4600);
+    return mpi_bandwidth_mbps(grid, p, size);
+  }
+  if (which == "orb") {
+    grid.node(0).chooser().set_wan_method("sysio");
+    grid.node(1).chooser().set_wan_method("sysio");
+    OrbPair p = make_orb_pair(grid, padico::orb::profiles::omniorb4(), 4610);
+    return orb_bandwidth_mbps(grid, p, size);
+  }
+  if (which == "java") {
+    grid.node(0).chooser().set_wan_method("sysio");
+    grid.node(1).chooser().set_wan_method("sysio");
+    JsockPair p = make_jsock_pair(grid, 4620);
+    return jsock_bandwidth_mbps(grid, p, size);
+  }
+  LinkPair p = make_link_pair(grid, "sysio", 4630);
+  return link_bandwidth_mbps(grid, p, size);
+}
+
+double wan_latency_ms() {
+  gr::Grid grid;
+  wan_grid(grid);
+  LinkPair p = make_link_pair(grid, "sysio", 4640);
+  return link_latency_us(grid, p, 4) / 1000.0;
+}
+
+double pstream_bw(int streams) {
+  gr::Grid grid;
+  wan_grid(grid, streams);
+  LinkPair p = make_link_pair(grid, streams <= 1 ? "sysio" : "pstream", 4650);
+  return link_bandwidth_mbps(grid, p, 256 * 1024, 64);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Section 5 WAN (VTHD) reproduction\n\n");
+  std::printf("## middleware bandwidth over plain TCP (paper: all ~9 MB/s)\n");
+  std::printf("%-12s %10s\n", "system", "MB/s");
+  std::printf("%-12s %10.2f\n", "raw-TCP", middleware_bw("tcp"));
+  std::printf("%-12s %10.2f\n", "MPI", middleware_bw("mpi"));
+  std::printf("%-12s %10.2f\n", "omniORB-4", middleware_bw("orb"));
+  std::printf("%-12s %10.2f\n", "Java-socket", middleware_bw("java"));
+
+  std::printf("\n## one-way latency (paper: 8 ms)\n");
+  std::printf("latency: %.2f ms\n", wan_latency_ms());
+
+  std::printf("\n## ParallelStreams sweep (paper: 1 stream ~9 MB/s, "
+              "parallel streams -> 12 MB/s = Ethernet-100 access cap)\n");
+  std::printf("%8s %10s\n", "streams", "MB/s");
+  for (int s : {1, 2, 3, 4, 6, 8}) {
+    std::printf("%8d %10.2f\n", s, pstream_bw(s));
+  }
+  return 0;
+}

@@ -1,0 +1,362 @@
+// Shared benchmark scaffolding: the paper's testbed topology, plus
+// per-middleware latency / bandwidth measurement drivers.
+//
+// All numbers are virtual-time (deterministic); see DESIGN.md "Timing
+// model".  Each middleware driver genuinely pushes payloads through its
+// full stack — the measured figures emerge from the framework code paths.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "middleware/corba/orb.hpp"
+#include "middleware/javasock/jsock.hpp"
+#include "middleware/mpi/mpi.hpp"
+#include "personalities/vio.hpp"
+
+namespace bench {
+
+namespace pc = padico::core;
+namespace sn = padico::simnet;
+namespace gr = padico::grid;
+
+/// The paper's platform: dual nodes with Myrinet-2000 + Ethernet-100.
+inline void attach_testbed(gr::Grid& grid, int nodes = 2) {
+  grid.add_nodes(nodes);
+  sn::NetId san = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId lan = grid.add_network(sn::profiles::ethernet100());
+  for (int i = 0; i < nodes; ++i) {
+    grid.attach(san, static_cast<pc::NodeId>(i));
+    grid.attach(lan, static_cast<pc::NodeId>(i));
+  }
+}
+
+/// Bytes per second -> MB/s with MB = 1e6 bytes (the paper's unit).
+inline double mbps(std::uint64_t bytes, pc::Duration elapsed) {
+  if (elapsed == 0) return 0;
+  return static_cast<double>(bytes) / pc::to_seconds(elapsed) / 1e6;
+}
+
+/// How many messages of `size` to stream for a stable bandwidth figure.
+inline int message_count(std::size_t size) {
+  const std::uint64_t target = 16ull << 20;  // ~16 MB per point
+  const std::uint64_t by_bytes = target / std::max<std::size_t>(size, 1);
+  return static_cast<int>(std::clamp<std::uint64_t>(by_bytes, 8, 2000));
+}
+
+// ---------------------------------------------------------------------------
+// MPI drivers
+// ---------------------------------------------------------------------------
+
+struct MpiPair {
+  std::unique_ptr<gr::CircuitSet> set;
+  std::unique_ptr<padico::mpi::Comm> c0, c1;
+};
+
+inline MpiPair make_mpi_pair(gr::Grid& grid, padico::net::Tag tag,
+                             pc::Port port) {
+  MpiPair p;
+  p.set = std::make_unique<gr::CircuitSet>(
+      grid.make_circuit("bench-mpi", padico::circuit::Group({0, 1}), tag, port));
+  p.c0 = std::make_unique<padico::mpi::Comm>(p.set->at(0));
+  p.c1 = std::make_unique<padico::mpi::Comm>(p.set->at(1));
+  return p;
+}
+
+/// One-way latency from a ping-pong of `rounds` round trips.
+inline double mpi_latency_us(gr::Grid& grid, MpiPair& p, int rounds = 32) {
+  pc::SimTime t0 = 0, t1 = 0;
+  bool done = false;
+  auto rank0 = [&]() -> pc::Task {
+    pc::Bytes ping(1, 0);
+    t0 = grid.engine().now();
+    for (int i = 0; i < rounds; ++i) {
+      p.c0->isend(1, 0, pc::view_of(ping));
+      co_await p.c0->recv(1, 0);
+    }
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto rank1 = [&]() -> pc::Task {
+    pc::Bytes pong(1, 0);
+    for (int i = 0; i < rounds; ++i) {
+      co_await p.c1->recv(0, 0);
+      p.c1->isend(0, 0, pc::view_of(pong));
+    }
+  };
+  auto ta = rank1();
+  auto tb = rank0();
+  grid.engine().run_while_pending([&] { return done; });
+  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+}
+
+/// Streaming bandwidth at message size `size`.
+inline double mpi_bandwidth_mbps(gr::Grid& grid, MpiPair& p,
+                                 std::size_t size) {
+  const int count = message_count(size);
+  pc::SimTime t0 = 0, t1 = 0;
+  bool done = false;
+  auto rank0 = [&]() -> pc::Task {
+    pc::Bytes payload(size, 0x77);
+    t0 = grid.engine().now();
+    for (int i = 0; i < count; ++i) p.c0->isend(1, 1, pc::view_of(payload));
+    co_return;
+  };
+  auto rank1 = [&]() -> pc::Task {
+    for (int i = 0; i < count; ++i) co_await p.c1->recv(0, 1);
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto ta = rank1();
+  auto tb = rank0();
+  grid.engine().run_while_pending([&] { return done; });
+  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+}
+
+// ---------------------------------------------------------------------------
+// ORB drivers
+// ---------------------------------------------------------------------------
+
+struct OrbPair {
+  std::unique_ptr<padico::orb::Orb> server, client;
+  padico::orb::ObjectRef sink;
+};
+
+inline OrbPair make_orb_pair(gr::Grid& grid, padico::orb::OrbProfile profile,
+                             pc::Port port) {
+  OrbPair p;
+  p.server = std::make_unique<padico::orb::Orb>(
+      grid.node(1).host(), grid.node(1).vlink(), profile, port);
+  p.server->activate("sink",
+                     [](const std::string&, std::vector<padico::orb::Any>) {
+                       return std::vector<padico::orb::Any>{};
+                     });
+  p.server->start();
+  p.client = std::make_unique<padico::orb::Orb>(
+      grid.node(0).host(), grid.node(0).vlink(), profile, port + 1);
+  p.sink = p.server->ref_of("sink");
+  return p;
+}
+
+inline double orb_latency_us(gr::Grid& grid, OrbPair& p, int rounds = 32) {
+  pc::SimTime t0 = 0, t1 = 0;
+  bool done = false;
+  auto prog = [&]() -> pc::Task {
+    co_await p.client->invoke(p.sink, "null", {});  // connection warm-up
+    t0 = grid.engine().now();
+    for (int i = 0; i < rounds; ++i) {
+      co_await p.client->invoke(p.sink, "null", {});
+    }
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto t = prog();
+  grid.engine().run_while_pending([&] { return done; });
+  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+}
+
+inline double orb_bandwidth_mbps(gr::Grid& grid, OrbPair& p,
+                                 std::size_t size) {
+  const int count = message_count(size);
+  pc::SimTime t0 = 0, t1 = 0;
+  bool done = false;
+  auto prog = [&]() -> pc::Task {
+    co_await p.client->invoke(p.sink, "null", {});  // warm-up
+    t0 = grid.engine().now();
+    pc::Bytes payload(size, 0x55);
+    // Oneway-style streaming: requests pipeline freely (the marshaller
+    // and the wire pace them); only the final reply is awaited.
+    pc::Completion<padico::orb::Reply> last;
+    for (int i = 0; i < count; ++i) {
+      std::vector<padico::orb::Any> args;
+      args.emplace_back(payload);
+      last = p.client->invoke(p.sink, "put", std::move(args));
+    }
+    co_await last;
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto t = prog();
+  grid.engine().run_while_pending([&] { return done; });
+  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+}
+
+// ---------------------------------------------------------------------------
+// Java socket drivers
+// ---------------------------------------------------------------------------
+
+struct JsockPair {
+  std::shared_ptr<padico::jsock::JavaSocket> client, server;
+};
+
+inline JsockPair make_jsock_pair(gr::Grid& grid, pc::Port port) {
+  JsockPair p;
+  padico::jsock::java_server_socket(
+      grid.node(1).vlink(), port,
+      [&p](std::shared_ptr<padico::jsock::JavaSocket> s) {
+        p.server = std::move(s);
+      });
+  bool connected = false;
+  auto prog = [&]() -> pc::Task {
+    auto r = co_await padico::jsock::JavaSocket::connect(grid.node(0).vlink(),
+                                                         {1, port});
+    p.client = *r;
+    connected = true;
+  };
+  auto t = prog();
+  grid.engine().run_while_pending([&] { return connected && p.server; });
+  return p;
+}
+
+inline double jsock_latency_us(gr::Grid& grid, JsockPair& p, int rounds = 32) {
+  pc::SimTime t0 = 0, t1 = 0;
+  bool done = false;
+  auto client = [&]() -> pc::Task {
+    t0 = grid.engine().now();
+    for (int i = 0; i < rounds; ++i) {
+      co_await p.client->write(pc::view_of("x"));
+      co_await p.client->read_n(1);
+    }
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto server = [&]() -> pc::Task {
+    for (int i = 0; i < rounds; ++i) {
+      pc::Bytes b = co_await p.server->read_n(1);
+      co_await p.server->write(pc::view_of(b));
+    }
+  };
+  auto ts = server();
+  auto tc = client();
+  grid.engine().run_while_pending([&] { return done; });
+  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+}
+
+inline double jsock_bandwidth_mbps(gr::Grid& grid, JsockPair& p,
+                                   std::size_t size) {
+  const int count = message_count(size);
+  pc::SimTime t0 = 0, t1 = 0;
+  bool done = false;
+  auto client = [&]() -> pc::Task {
+    pc::Bytes payload(size, 0x33);
+    t0 = grid.engine().now();
+    for (int i = 0; i < count; ++i) co_await p.client->write(pc::view_of(payload));
+    co_return;
+  };
+  auto server = [&]() -> pc::Task {
+    for (int i = 0; i < count; ++i) co_await p.server->read_n(size);
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto ts = server();
+  auto tc = client();
+  grid.engine().run_while_pending([&] { return done; });
+  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+}
+
+// ---------------------------------------------------------------------------
+// Raw VLink / Circuit / TCP drivers
+// ---------------------------------------------------------------------------
+
+struct LinkPair {
+  std::unique_ptr<padico::vlink::Link> a, b;
+};
+
+inline LinkPair make_link_pair(gr::Grid& grid, const std::string& method,
+                               pc::Port port) {
+  LinkPair p;
+  grid.node(1).vlink().driver(method)->listen(
+      port,
+      [&p](std::unique_ptr<padico::vlink::Link> l) { p.b = std::move(l); });
+  grid.node(0).vlink().connect(
+      method, {1, port},
+      [&p](pc::Result<std::unique_ptr<padico::vlink::Link>> r) {
+        if (r.ok()) p.a = std::move(*r);
+      });
+  grid.engine().run_while_pending([&] { return p.a && p.b; });
+  return p;
+}
+
+inline double link_latency_us(gr::Grid& grid, LinkPair& p, int rounds = 32) {
+  pc::SimTime t0 = 0, t1 = 0;
+  bool done = false;
+  auto client = [&]() -> pc::Task {
+    t0 = grid.engine().now();
+    for (int i = 0; i < rounds; ++i) {
+      p.a->post_write(pc::view_of("x"));
+      co_await p.a->read_n(1);
+    }
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto server = [&]() -> pc::Task {
+    for (int i = 0; i < rounds; ++i) {
+      pc::Bytes b = co_await p.b->read_n(1);
+      p.b->post_write(pc::view_of(b));
+    }
+  };
+  auto ts = server();
+  auto tc = client();
+  grid.engine().run_while_pending([&] { return done; });
+  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+}
+
+inline double link_bandwidth_mbps(gr::Grid& grid, LinkPair& p,
+                                  std::size_t size, int count = 0) {
+  if (count == 0) count = message_count(size);
+  pc::SimTime t0 = grid.engine().now(), t1 = 0;
+  bool done = false;
+  auto client = [&]() -> pc::Task {
+    pc::Bytes payload(size, 0x11);
+    for (int i = 0; i < count; ++i) p.a->post_write(pc::view_of(payload));
+    co_return;
+  };
+  auto server = [&]() -> pc::Task {
+    co_await p.b->read_n(size * static_cast<std::size_t>(count));
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto ts = server();
+  auto tc = client();
+  grid.engine().run_while_pending([&] { return done; });
+  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+}
+
+/// Circuit-level ping-pong latency over a wired CircuitSet.
+inline double circuit_latency_us(gr::Grid& grid, gr::CircuitSet& set,
+                                 int rounds = 32) {
+  pc::SimTime t0 = grid.engine().now(), t1 = 0;
+  int pongs = 0;
+  set.at(1).set_recv_handler([&](int, padico::mad::UnpackHandle&) {
+    set.at(1).send(0, pc::view_of("o"));
+  });
+  set.at(0).set_recv_handler([&](int, padico::mad::UnpackHandle&) {
+    if (++pongs < rounds) {
+      set.at(0).send(1, pc::view_of("i"));
+    } else {
+      t1 = grid.engine().now();
+    }
+  });
+  set.at(0).send(1, pc::view_of("i"));
+  grid.engine().run_while_pending([&] { return pongs >= rounds; });
+  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+}
+
+inline double circuit_bandwidth_mbps(gr::Grid& grid, gr::CircuitSet& set,
+                                     std::size_t size) {
+  const int count = message_count(size);
+  pc::SimTime t0 = grid.engine().now(), t1 = 0;
+  int received = 0;
+  set.at(1).set_recv_handler([&](int, padico::mad::UnpackHandle&) {
+    if (++received == count) t1 = grid.engine().now();
+  });
+  pc::Bytes payload(size, 0x22);
+  for (int i = 0; i < count; ++i) set.at(0).send(1, pc::view_of(payload));
+  grid.engine().run_while_pending([&] { return received >= count; });
+  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+}
+
+}  // namespace bench
