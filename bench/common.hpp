@@ -6,16 +6,38 @@
 // full stack — the measured figures emerge from the framework code paths.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "grid/grid.hpp"
+
+// Middleware layers land PR by PR; each driver section below compiles
+// once its library exists, so the base helpers (testbed, vlink drivers)
+// stay usable from day one.
+#if __has_include("middleware/corba/orb.hpp")
+#define BENCH_HAVE_ORB 1
 #include "middleware/corba/orb.hpp"
+#endif
+#if __has_include("middleware/javasock/jsock.hpp")
+#define BENCH_HAVE_JSOCK 1
 #include "middleware/javasock/jsock.hpp"
+#endif
+#if __has_include("middleware/mpi/mpi.hpp")
+#define BENCH_HAVE_MPI 1
 #include "middleware/mpi/mpi.hpp"
+#endif
+#if __has_include("madeleine/circuit.hpp")
+#define BENCH_HAVE_CIRCUIT 1
+#include "madeleine/circuit.hpp"
+#endif
+#if __has_include("personalities/vio.hpp")
 #include "personalities/vio.hpp"
+#endif
 
 namespace bench {
 
@@ -50,6 +72,8 @@ inline int message_count(std::size_t size) {
 // ---------------------------------------------------------------------------
 // MPI drivers
 // ---------------------------------------------------------------------------
+
+#ifdef BENCH_HAVE_MPI
 
 struct MpiPair {
   std::unique_ptr<gr::CircuitSet> set;
@@ -116,9 +140,13 @@ inline double mpi_bandwidth_mbps(gr::Grid& grid, MpiPair& p,
   return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
 }
 
+#endif  // BENCH_HAVE_MPI
+
 // ---------------------------------------------------------------------------
 // ORB drivers
 // ---------------------------------------------------------------------------
+
+#ifdef BENCH_HAVE_ORB
 
 struct OrbPair {
   std::unique_ptr<padico::orb::Orb> server, client;
@@ -184,9 +212,13 @@ inline double orb_bandwidth_mbps(gr::Grid& grid, OrbPair& p,
   return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
 }
 
+#endif  // BENCH_HAVE_ORB
+
 // ---------------------------------------------------------------------------
 // Java socket drivers
 // ---------------------------------------------------------------------------
+
+#ifdef BENCH_HAVE_JSOCK
 
 struct JsockPair {
   std::shared_ptr<padico::jsock::JavaSocket> client, server;
@@ -257,6 +289,8 @@ inline double jsock_bandwidth_mbps(gr::Grid& grid, JsockPair& p,
   return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
 }
 
+#endif  // BENCH_HAVE_JSOCK
+
 // ---------------------------------------------------------------------------
 // Raw VLink / Circuit / TCP drivers
 // ---------------------------------------------------------------------------
@@ -325,6 +359,8 @@ inline double link_bandwidth_mbps(gr::Grid& grid, LinkPair& p,
   return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
 }
 
+#ifdef BENCH_HAVE_CIRCUIT
+
 /// Circuit-level ping-pong latency over a wired CircuitSet.
 inline double circuit_latency_us(gr::Grid& grid, gr::CircuitSet& set,
                                  int rounds = 32) {
@@ -358,5 +394,7 @@ inline double circuit_bandwidth_mbps(gr::Grid& grid, gr::CircuitSet& set,
   grid.engine().run_while_pending([&] { return received >= count; });
   return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
 }
+
+#endif  // BENCH_HAVE_CIRCUIT
 
 }  // namespace bench

@@ -1,0 +1,14 @@
+#include "core/bytes.hpp"
+
+namespace padico::core {
+
+Bytes IoVec::flatten() const {
+  Bytes out;
+  out.reserve(byte_size_);
+  for (const Segment& s : segments_) {
+    out.insert(out.end(), s.view.begin(), s.view.end());
+  }
+  return out;
+}
+
+}  // namespace padico::core

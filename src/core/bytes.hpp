@@ -1,0 +1,100 @@
+// Byte containers for the communication stack.
+//
+// `Bytes` owns storage, `ByteView` is a borrowed span, and `IoVec` is a
+// zero-copy gather list mixing borrowed and owned segments — the shape
+// Madeleine-style pack/unpack interfaces and the marshallers want.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace padico::core {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over a contiguous byte range.
+class ByteView {
+ public:
+  constexpr ByteView() = default;
+  constexpr ByteView(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  constexpr const std::uint8_t* data() const noexcept { return data_; }
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+  constexpr const std::uint8_t* begin() const noexcept { return data_; }
+  constexpr const std::uint8_t* end() const noexcept { return data_ + size_; }
+  constexpr std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  constexpr ByteView subview(std::size_t off, std::size_t n) const {
+    return ByteView(data_ + off, n);
+  }
+
+  Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+inline ByteView view_of(const Bytes& b) { return ByteView(b.data(), b.size()); }
+
+inline ByteView view_of(const std::string& s) {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+/// C string literal view; the terminating NUL is not included.
+inline ByteView view_of(const char* s) {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(s), std::strlen(s));
+}
+
+inline ByteView view_of(const void* p, std::size_t n) {
+  return ByteView(static_cast<const std::uint8_t*>(p), n);
+}
+
+/// Gather list of byte segments.  `append_ref` borrows the caller's
+/// storage (zero-copy; the caller keeps it alive until the IoVec is
+/// consumed), `append` adopts an owned buffer (headers, trailers).
+class IoVec {
+ public:
+  IoVec() = default;
+
+  /// Borrow `v` without copying.
+  void append_ref(ByteView v) {
+    segments_.push_back(Segment{v, Bytes{}, false});
+    byte_size_ += v.size();
+  }
+
+  /// Adopt `b`; the IoVec keeps it alive.
+  void append(Bytes b) {
+    Segment s{ByteView{}, std::move(b), true};
+    s.view = ByteView(s.owned.data(), s.owned.size());
+    byte_size_ += s.owned.size();
+    segments_.push_back(std::move(s));
+  }
+
+  std::size_t segments() const noexcept { return segments_.size(); }
+  std::size_t byte_size() const noexcept { return byte_size_; }
+  bool empty() const noexcept { return byte_size_ == 0; }
+
+  /// View of segment `i` (valid while the IoVec and any borrowed
+  /// backing stores live).
+  ByteView view(std::size_t i) const { return segments_[i].view; }
+
+  /// Copy every segment, in order, into one contiguous buffer.
+  Bytes flatten() const;
+
+ private:
+  struct Segment {
+    ByteView view;
+    Bytes owned;
+    bool is_owned = false;
+  };
+  std::vector<Segment> segments_;
+  std::size_t byte_size_ = 0;
+};
+
+}  // namespace padico::core

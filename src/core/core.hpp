@@ -1,0 +1,10 @@
+// Umbrella header for padico::core.
+#pragma once
+
+#include "core/bytes.hpp"
+#include "core/engine.hpp"
+#include "core/host.hpp"
+#include "core/result.hpp"
+#include "core/rng.hpp"
+#include "core/task.hpp"
+#include "core/time.hpp"

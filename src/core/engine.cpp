@@ -1,0 +1,25 @@
+#include "core/engine.hpp"
+
+namespace padico::core {
+
+void Engine::schedule_at(SimTime t, EventFn fn) {
+  if (t < now_) t = now_;
+  events_.emplace(Key{t, seq_++}, std::move(fn));
+}
+
+bool Engine::step() {
+  if (events_.empty()) return false;
+  auto node = events_.extract(events_.begin());
+  now_ = node.key().first;
+  ++processed_;
+  node.mapped()();
+  return true;
+}
+
+std::size_t Engine::run_until_idle() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace padico::core

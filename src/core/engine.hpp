@@ -1,0 +1,79 @@
+// Deterministic virtual-time event engine.
+//
+// The engine owns a single totally-ordered event queue keyed by
+// (timestamp, insertion sequence number).  Two events scheduled for the
+// same instant run in the order they were scheduled, so a given program
+// produces a bit-identical event trace on every run — the property all
+// reproduction benchmarks rely on.  See DESIGN.md "Timing model".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "core/time.hpp"
+
+namespace padico::core {
+
+class Engine {
+ public:
+  using EventFn = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual instant.  Starts at 0.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute instant `t`.  A timestamp in the past is
+  /// clamped to `now()` (the event still runs after the current one).
+  void schedule_at(SimTime t, EventFn fn);
+
+  /// Schedule `fn` at `now() + d`.
+  void schedule_after(Duration d, EventFn fn) { schedule_at(now_ + d, std::move(fn)); }
+
+  /// Schedule `fn` at the current instant (after already-queued
+  /// same-instant events).
+  void post(EventFn fn) { schedule_at(now_, std::move(fn)); }
+
+  /// True while at least one event is queued.
+  bool pending() const noexcept { return !events_.empty(); }
+
+  std::size_t pending_count() const noexcept { return events_.size(); }
+
+  /// Total events dispatched since construction.
+  std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Dispatch the earliest event, advancing `now()`.  Returns false if
+  /// the queue was empty.
+  bool step();
+
+  /// Dispatch events until the queue is empty.  Returns the number of
+  /// events dispatched.
+  std::size_t run_until_idle();
+
+  /// Dispatch events until `stop()` returns true or the queue drains,
+  /// whichever comes first.  `stop` is evaluated before each event.
+  /// Returns the number of events dispatched.
+  template <typename Pred>
+  std::size_t run_while_pending(Pred&& stop) {
+    std::size_t n = 0;
+    while (!events_.empty() && !stop()) {
+      step();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  using Key = std::pair<SimTime, std::uint64_t>;
+  std::map<Key, EventFn> events_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace padico::core

@@ -1,0 +1,11 @@
+#include "core/host.hpp"
+
+namespace padico::core {
+
+Host::Host(Engine& engine, NodeId id, std::string name)
+    : engine_(&engine),
+      id_(id),
+      name_(name.empty() ? "node" + std::to_string(id) : std::move(name)),
+      rng_(0x5eed0000ull + id) {}
+
+}  // namespace padico::core

@@ -1,0 +1,36 @@
+// Per-node execution context.
+//
+// A Host ties a logical node to the shared virtual-time Engine and
+// carries node-local services (name, deterministic per-node RNG).  It
+// is the first constructor argument of every per-node layer (drivers,
+// Madeleine, NetAccess, middleware), mirroring PadicoTM's per-process
+// core module.
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/rng.hpp"
+#include "core/time.hpp"
+
+namespace padico::core {
+
+class Host {
+ public:
+  Host(Engine& engine, NodeId id, std::string name = {});
+
+  Engine& engine() const noexcept { return *engine_; }
+  NodeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Node-local deterministic RNG (seeded from the node id).
+  Rng& rng() noexcept { return rng_; }
+
+ private:
+  Engine* engine_;
+  NodeId id_;
+  std::string name_;
+  Rng rng_;
+};
+
+}  // namespace padico::core

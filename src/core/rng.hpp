@@ -1,0 +1,29 @@
+// Seedable deterministic random source (splitmix64).
+//
+// Used for simulated loss, jitter, and benchmark payloads.  Not
+// cryptographic; chosen for cross-platform bit-exact reproducibility.
+#pragma once
+
+#include <cstdint>
+
+namespace padico::core {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  void reseed(std::uint64_t seed) { state_ = seed; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace padico::core

@@ -1,0 +1,164 @@
+// C++20 coroutine plumbing for simulation programs.
+//
+// `Task` is an eagerly-started, fire-and-forget coroutine whose frame
+// is owned by the returned handle object; `Completion<T>` is a
+// single-producer single-consumer awaitable the transport layers use to
+// signal "this value is ready".  Everything is single-threaded: the
+// only scheduler is the virtual-time Engine, and resumption happens
+// inline from whichever event callback completes the awaited value.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/engine.hpp"
+
+namespace padico::core {
+
+/// Fire-and-forget coroutine.  Starts running at the call; suspends at
+/// co_await points; the Task object keeps the frame alive, so it must
+/// outlive the run loop that drives the coroutine to completion.
+/// Destroying a Task mid-await cancels the coroutine safely (pending
+/// Completions detach and later values are dropped).
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return h_ != nullptr; }
+  bool done() const noexcept { return !h_ || h_.done(); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+/// Awaitable one-shot value.  Copies share the same state, so a
+/// producer keeps one copy and calls `complete()` while the consumer
+/// co_awaits another.  Completing before the await is fine (the await
+/// doesn't suspend); completing after resumes the waiter inline.  At
+/// most one coroutine may await a given completion at a time.
+template <typename T>
+class Completion {
+  struct State {
+    std::optional<T> value;
+    std::coroutine_handle<> waiter;
+  };
+
+ public:
+  Completion() : st_(std::make_shared<State>()) {}
+
+  bool ready() const noexcept { return st_->value.has_value(); }
+
+  void complete(T value) {
+    auto st = st_;  // keep state alive across an inline resume
+    assert(!st->value.has_value() && "Completion completed twice");
+    st->value.emplace(std::move(value));
+    if (auto w = std::exchange(st->waiter, nullptr)) w.resume();
+  }
+
+  struct Awaiter {
+    std::shared_ptr<State> st;
+    std::coroutine_handle<> self{};
+
+    bool await_ready() const noexcept { return st->value.has_value(); }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      assert(!st->waiter && "Completion awaited by two coroutines");
+      self = h;
+      st->waiter = h;
+    }
+    T await_resume() { return std::move(*st->value); }
+
+    // If the awaiting coroutine frame is destroyed while suspended
+    // here, detach so a late complete() doesn't resume a dead frame.
+    ~Awaiter() {
+      if (self && st->waiter == self) st->waiter = nullptr;
+    }
+  };
+
+  Awaiter operator co_await() const noexcept { return Awaiter{st_}; }
+
+ private:
+  std::shared_ptr<State> st_;
+};
+
+template <>
+class Completion<void> {
+  struct State {
+    bool done = false;
+    std::coroutine_handle<> waiter;
+  };
+
+ public:
+  Completion() : st_(std::make_shared<State>()) {}
+
+  bool ready() const noexcept { return st_->done; }
+
+  void complete() {
+    auto st = st_;
+    assert(!st->done && "Completion completed twice");
+    st->done = true;
+    if (auto w = std::exchange(st->waiter, nullptr)) w.resume();
+  }
+
+  struct Awaiter {
+    std::shared_ptr<State> st;
+    std::coroutine_handle<> self{};
+
+    bool await_ready() const noexcept { return st->done; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      assert(!st->waiter && "Completion awaited by two coroutines");
+      self = h;
+      st->waiter = h;
+    }
+    void await_resume() noexcept {}
+    ~Awaiter() {
+      if (self && st->waiter == self) st->waiter = nullptr;
+    }
+  };
+
+  Awaiter operator co_await() const noexcept { return Awaiter{st_}; }
+
+ private:
+  std::shared_ptr<State> st_;
+};
+
+/// Awaitable virtual-time sleep: resumes the awaiting coroutine `d`
+/// nanoseconds of simulated time after the call.
+inline Completion<void> sleep_for(Engine& engine, Duration d) {
+  Completion<void> c;
+  engine.schedule_after(d, [c]() mutable { c.complete(); });
+  return c;
+}
+
+}  // namespace padico::core

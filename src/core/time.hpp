@@ -1,0 +1,40 @@
+// Virtual-time units for the padico simulation runtime.
+//
+// All simulated clocks are integer nanoseconds since engine start.
+// `SimTime` is an absolute instant, `Duration` a difference; both are
+// plain unsigned 64-bit integers so that benchmark arithmetic
+// (`t1 - t0`, `elapsed == 0`) stays trivially deterministic across
+// platforms and compilers.  See DESIGN.md "Timing model".
+#pragma once
+
+#include <cstdint>
+
+namespace padico::core {
+
+/// Absolute virtual instant, in nanoseconds since Engine construction.
+using SimTime = std::uint64_t;
+
+/// Virtual time difference, in nanoseconds.
+using Duration = std::uint64_t;
+
+/// Logical node index inside a grid / fabric.
+using NodeId = std::uint32_t;
+
+/// Transport port number (vlink listen/connect endpoints).
+using Port = std::uint16_t;
+
+constexpr Duration nanoseconds(std::uint64_t n) { return n; }
+constexpr Duration microseconds(std::uint64_t us) { return us * 1'000ull; }
+constexpr Duration milliseconds(std::uint64_t ms) { return ms * 1'000'000ull; }
+constexpr Duration seconds(std::uint64_t s) { return s * 1'000'000'000ull; }
+
+/// Duration -> floating seconds (exact for 0; used by bandwidth math).
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) * 1e-9; }
+
+/// Duration -> floating microseconds (latency tables).
+constexpr double to_micros(Duration d) { return static_cast<double>(d) * 1e-3; }
+
+/// Duration -> floating milliseconds.
+constexpr double to_millis(Duration d) { return static_cast<double>(d) * 1e-6; }
+
+}  // namespace padico::core

@@ -1,0 +1,63 @@
+#include "grid/grid.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "vlink/net_driver.hpp"
+
+namespace padico::grid {
+
+void Grid::add_nodes(int n) {
+  assert(!built_ && "topology frozen by build()");
+  node_count_ += static_cast<std::size_t>(n);
+}
+
+simnet::NetId Grid::add_network(const simnet::LinkModel& model) {
+  assert(!built_ && "topology frozen by build()");
+  return fabric_.add_network(model);
+}
+
+void Grid::attach(simnet::NetId net, core::NodeId node) {
+  assert(!built_ && "topology frozen by build()");
+  if (node >= node_count_) {
+    throw std::out_of_range("Grid::attach(): node " + std::to_string(node) +
+                            " not declared (have " +
+                            std::to_string(node_count_) + ")");
+  }
+  fabric_.attach(net, node);
+  attachments_.emplace_back(net, node);
+}
+
+void Grid::build(const BuildOptions& options) {
+  if (built_) return;
+  options_ = options;
+  built_ = true;
+
+  nodes_.reserve(node_count_);
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(engine_, static_cast<core::NodeId>(i)));
+  }
+
+  // Attachment declaration order fixes driver preference order, so the
+  // typical "SAN first, LAN second" testbed auto-selects the SAN.
+  for (const auto& [net_id, node_id] : attachments_) {
+    simnet::Network& net = fabric_.network(net_id);
+    vlink::VLink& vl = nodes_[node_id]->vlink();
+    std::string method = net.model().driver;
+    if (vl.driver(method) != nullptr) {
+      // Two same-profile networks on one node (e.g. twin SANs): keep
+      // method names unique and deterministic.
+      method += "@" + std::to_string(net_id);
+    }
+    vl.add_driver(std::make_unique<vlink::NetDriver>(
+        nodes_[node_id]->host(), net, method));
+  }
+}
+
+Node& Grid::node(std::size_t i) {
+  if (!built_) throw std::logic_error("Grid::node() before build()");
+  return *nodes_.at(i);
+}
+
+}  // namespace padico::grid

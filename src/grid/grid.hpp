@@ -1,0 +1,102 @@
+// Grid: declarative topology builder for a simulated deployment.
+//
+//   gr::Grid grid;
+//   grid.add_nodes(2);
+//   sn::NetId san = grid.add_network(sn::profiles::myrinet2000());
+//   grid.attach(san, 0);
+//   grid.attach(san, 1);
+//   grid.build();
+//   grid.node(0).vlink().connect("madio", {1, port}, cb);
+//
+// `build()` freezes the topology: it creates one Host + VLink per node
+// and, for every (network, node) attachment, registers a baseline
+// NetDriver named after the network profile's driver method ("madio"
+// for the SAN, "sysio" for IP networks).  Later layers replace or wrap
+// these drivers without changing the topology API.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/host.hpp"
+#include "simnet/network.hpp"
+#include "vlink/vlink.hpp"
+
+namespace padico::grid {
+
+/// Build-time knobs.  Fields beyond the base runtime are consumed by
+/// the layers that implement them (selector, MadIO, VRP); the base
+/// build records them so upper layers can query `grid.options()`.
+struct BuildOptions {
+  /// Preferred driver method for inter-cluster (WAN) traffic.
+  std::string wan_method;
+
+  /// MadIO header combining (section 4.1 ablation).
+  bool header_combining = true;
+
+  struct Vrp {
+    /// Tolerated residual loss rate for VRP links.
+    double max_loss = 0.0;
+  } vrp;
+};
+
+class Node {
+ public:
+  Node(core::Engine& engine, core::NodeId id)
+      : host_(engine, id), vlink_(host_) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  core::NodeId id() const noexcept { return host_.id(); }
+  core::Host& host() noexcept { return host_; }
+  vlink::VLink& vlink() noexcept { return vlink_; }
+
+ private:
+  core::Host host_;
+  vlink::VLink vlink_;
+};
+
+class Grid {
+ public:
+  Grid() = default;
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  core::Engine& engine() noexcept { return engine_; }
+  simnet::Fabric& fabric() noexcept { return fabric_; }
+
+  /// Declare `n` additional nodes.  Only valid before build().
+  void add_nodes(int n);
+
+  /// Declare a network from a link model.  Only valid before build().
+  simnet::NetId add_network(const simnet::LinkModel& model);
+
+  /// Attach `node` to `net`.  Only valid before build().
+  void attach(simnet::NetId net, core::NodeId node);
+
+  /// Freeze the topology and instantiate per-node hosts, vlinks and
+  /// baseline drivers.  Idempotent; the second call is a no-op.
+  void build() { build(BuildOptions{}); }
+  void build(const BuildOptions& options);
+
+  bool built() const noexcept { return built_; }
+  const BuildOptions& options() const noexcept { return options_; }
+
+  std::size_t size() const noexcept { return node_count_; }
+  Node& node(std::size_t i);
+
+ private:
+  core::Engine engine_;
+  simnet::Fabric fabric_{engine_};
+  std::size_t node_count_ = 0;
+  std::vector<std::pair<simnet::NetId, core::NodeId>> attachments_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  BuildOptions options_;
+  bool built_ = false;
+};
+
+}  // namespace padico::grid

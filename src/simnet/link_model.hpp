@@ -1,0 +1,61 @@
+// Network link models: the latency / bandwidth / MTU / loss profiles
+// that parameterise a simulated network.
+//
+// The stock profiles reproduce the paper's testbed: a Myrinet-2000 SAN
+// and a switched Ethernet-100 LAN inside each cluster, the VTHD 2.5
+// Gbit/s French research WAN between clusters, and a lossy
+// trans-continental Internet path for the VRP experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/time.hpp"
+
+namespace padico::simnet {
+
+/// Index of a network inside a Fabric / Grid.
+using NetId = std::uint32_t;
+
+struct LinkModel {
+  std::string name;
+
+  /// Default vlink driver method registered for nodes attached to this
+  /// network ("madio" for the SAN, "sysio" for IP networks).
+  std::string driver;
+
+  /// One-way wire latency per message (first byte in to first byte out).
+  core::Duration latency = 0;
+
+  /// Raw link signalling rate, bytes per second.
+  std::uint64_t bytes_per_second = 1;
+
+  /// Maximum payload per wire frame; larger sends are segmented.
+  std::size_t mtu = 1500;
+
+  /// Extra wire bytes per frame (headers, checksums, inter-frame gap).
+  std::size_t frame_overhead = 0;
+
+  /// Independent probability that any single frame is lost.
+  double loss_rate = 0.0;
+};
+
+namespace profiles {
+
+/// Myrinet-2000 SAN: 2 Gbit/s, ~7 us one-way hardware latency.
+LinkModel myrinet2000();
+
+/// Switched Fast Ethernet: 100 Mbit/s, TCP-ish per-message latency.
+LinkModel ethernet100();
+
+/// VTHD 2.5 Gbit/s wide-area research backbone (paper section 5);
+/// per-stream share modelled at 1 Gbit/s, ~5 ms one-way.
+LinkModel vthd_wan();
+
+/// Lossy trans-continental Internet path used by the VRP experiments.
+LinkModel transcontinental_internet(double loss_rate);
+
+}  // namespace profiles
+
+}  // namespace padico::simnet

@@ -1,0 +1,110 @@
+// Simulated networks.
+//
+// A Network is one shared medium (SAN, LAN, WAN link) described by a
+// LinkModel.  Timing model (see DESIGN.md):
+//
+//   * each attached node has one NIC which serialises its outgoing
+//     messages FIFO (a message starts transmitting when the previous
+//     one from the same node has finished),
+//   * a message of `s` payload bytes occupies the sender's NIC for
+//     tx_time(s) = ceil((s + frames * overhead) * 1e9 / bytes_per_sec),
+//   * it is delivered to the destination NIC tx_time + latency after
+//     transmission starts,
+//   * on lossy links the whole message is dropped with the probability
+//     that at least one of its frames is lost, decided by the
+//     network's own seeded RNG (deterministic across runs).
+//
+// A Fabric owns the set of networks sharing one engine — the piece the
+// benches instantiate directly when they bypass Grid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/bytes.hpp"
+#include "core/engine.hpp"
+#include "core/result.hpp"
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "simnet/link_model.hpp"
+
+namespace padico::simnet {
+
+class Network {
+ public:
+  /// Called on the destination node when a message arrives.
+  using RecvFn = std::function<void(core::NodeId src, core::Bytes payload)>;
+
+  Network(core::Engine& engine, LinkModel model, std::uint64_t seed);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const LinkModel& model() const noexcept { return model_; }
+  core::Engine& engine() const noexcept { return *engine_; }
+
+  void attach(core::NodeId node);
+  bool attached(core::NodeId node) const;
+
+  /// Install the receive callback for `node` (one per node; drivers own
+  /// demultiplexing).  Messages arriving with no receiver are dropped.
+  void set_receiver(core::NodeId node, RecvFn fn);
+
+  /// Number of wire frames a payload of `bytes` occupies.
+  std::size_t frames_for(std::size_t bytes) const;
+
+  /// NIC occupancy time for a payload of `bytes` (includes per-frame
+  /// overhead bytes).
+  core::Duration tx_time(std::size_t bytes) const;
+
+  /// Transmit `payload` from `src` to `dst`.  Returns the arrival
+  /// instant on success (even if the message is then lost on the wire);
+  /// fails with Status::unreachable if either end is not attached.
+  core::Result<core::SimTime> send(core::NodeId src, core::NodeId dst,
+                                   core::Bytes payload);
+
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  struct Endpoint {
+    RecvFn recv;
+    core::SimTime tx_busy_until = 0;
+  };
+
+  core::Engine* engine_;
+  LinkModel model_;
+  core::Rng rng_;
+  std::map<core::NodeId, Endpoint> endpoints_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// The collection of simulated networks driven by one engine.
+class Fabric {
+ public:
+  explicit Fabric(core::Engine& engine) : engine_(&engine) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  core::Engine& engine() const noexcept { return *engine_; }
+
+  NetId add_network(const LinkModel& model);
+
+  void attach(NetId net, core::NodeId node) { network(net).attach(node); }
+
+  Network& network(NetId net) { return *networks_.at(net); }
+  const Network& network(NetId net) const { return *networks_.at(net); }
+  std::size_t network_count() const noexcept { return networks_.size(); }
+
+ private:
+  core::Engine* engine_;
+  std::vector<std::unique_ptr<Network>> networks_;
+};
+
+}  // namespace padico::simnet

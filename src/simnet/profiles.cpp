@@ -1,0 +1,50 @@
+#include "simnet/link_model.hpp"
+
+namespace padico::simnet::profiles {
+
+LinkModel myrinet2000() {
+  LinkModel m;
+  m.name = "myrinet-2000";
+  m.driver = "madio";
+  m.latency = core::microseconds(7);
+  m.bytes_per_second = 250'000'000;  // 2 Gbit/s
+  m.mtu = 32 * 1024;
+  m.frame_overhead = 8;  // route header + CRC
+  return m;
+}
+
+LinkModel ethernet100() {
+  LinkModel m;
+  m.name = "ethernet-100";
+  m.driver = "sysio";
+  m.latency = core::microseconds(50);
+  m.bytes_per_second = 12'500'000;  // 100 Mbit/s
+  m.mtu = 1500;
+  m.frame_overhead = 58;  // Ethernet + IP + TCP headers, gap
+  return m;
+}
+
+LinkModel vthd_wan() {
+  LinkModel m;
+  m.name = "vthd-wan";
+  m.driver = "sysio";
+  m.latency = core::milliseconds(5);
+  m.bytes_per_second = 125'000'000;  // 1 Gbit/s per-stream share
+  m.mtu = 1500;
+  m.frame_overhead = 58;
+  return m;
+}
+
+LinkModel transcontinental_internet(double loss_rate) {
+  LinkModel m;
+  m.name = "transcontinental-internet";
+  m.driver = "sysio";
+  m.latency = core::milliseconds(50);
+  m.bytes_per_second = 1'000'000;  // ~8 Mbit/s effective path
+  m.mtu = 1500;
+  m.frame_overhead = 58;
+  m.loss_rate = loss_rate;
+  return m;
+}
+
+}  // namespace padico::simnet::profiles

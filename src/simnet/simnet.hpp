@@ -1,0 +1,5 @@
+// Umbrella header for padico::simnet.
+#pragma once
+
+#include "simnet/link_model.hpp"
+#include "simnet/network.hpp"

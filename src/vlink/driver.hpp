@@ -1,0 +1,54 @@
+// Driver interface: one access method ("madio", "sysio", later "vrp",
+// "pstream", "adoc") for reaching peers on some network.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/result.hpp"
+#include "core/time.hpp"
+
+namespace padico::vlink {
+
+class Link;
+
+/// Address of a remote vlink endpoint.
+struct RemoteAddr {
+  core::NodeId node;
+  core::Port port;
+};
+
+class Driver {
+ public:
+  using AcceptFn = std::function<void(std::unique_ptr<Link>)>;
+  using ConnectFn =
+      std::function<void(core::Result<std::unique_ptr<Link>>)>;
+
+  explicit Driver(std::string name) : name_(std::move(name)) {}
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+  virtual ~Driver() = default;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Accept incoming connections on `port`; `on_accept` fires once per
+  /// established connection, transferring link ownership.
+  virtual void listen(core::Port port, AcceptFn on_accept) = 0;
+
+  /// Stop accepting on `port`.
+  virtual void unlisten(core::Port port) = 0;
+
+  /// Open a connection to `remote`; `on_connect` fires with the link or
+  /// an error (refused / unreachable).
+  virtual void connect(const RemoteAddr& remote, ConnectFn on_connect) = 0;
+
+  /// True if this driver can reach `node` at all (used by method
+  /// selection).
+  virtual bool reaches(core::NodeId node) const = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace padico::vlink

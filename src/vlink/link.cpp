@@ -1,0 +1,52 @@
+#include "vlink/link.hpp"
+
+#include <utility>
+
+namespace padico::vlink {
+
+void Link::post_write(const core::IoVec& iov) {
+  // One wire message preserves the gather boundary end-to-end; the
+  // flatten is the single copy onto the simulated wire.
+  core::Bytes flat = iov.flatten();
+  send_bytes(core::view_of(flat));
+}
+
+core::Completion<core::Bytes> Link::read_n(std::size_t n) {
+  core::Completion<core::Bytes> c;
+  if (pending_.empty() && available() >= n) {
+    c.complete(take(n));
+    return c;
+  }
+  pending_.push_back(PendingRead{n, c});
+  return c;
+}
+
+void Link::deliver(core::ByteView data) {
+  rx_buf_.insert(rx_buf_.end(), data.begin(), data.end());
+  drain();
+}
+
+core::Bytes Link::take(std::size_t n) {
+  core::Bytes out(rx_buf_.begin() + static_cast<std::ptrdiff_t>(rx_head_),
+                  rx_buf_.begin() + static_cast<std::ptrdiff_t>(rx_head_ + n));
+  rx_head_ += n;
+  // Compact once the dead prefix dominates to keep reassembly O(n).
+  if (rx_head_ > 4096 && rx_head_ * 2 >= rx_buf_.size()) {
+    rx_buf_.erase(rx_buf_.begin(),
+                  rx_buf_.begin() + static_cast<std::ptrdiff_t>(rx_head_));
+    rx_head_ = 0;
+  }
+  return out;
+}
+
+void Link::drain() {
+  while (!pending_.empty() && available() >= pending_.front().n) {
+    PendingRead req = std::move(pending_.front());
+    pending_.pop_front();
+    // complete() may resume a coroutine that immediately calls read_n
+    // or post_write again; the deque is in a consistent state here.
+    req.completion.complete(take(req.n));
+  }
+}
+
+}  // namespace padico::vlink

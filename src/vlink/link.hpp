@@ -1,0 +1,72 @@
+// Virtual link: an ordered, connection-oriented byte stream between two
+// nodes, the abstraction every middleware in the stack talks to.
+//
+// `Link` is the polymorphic base: it owns receive-side reassembly (a
+// byte buffer plus a FIFO of pending `read_n` requests) and delegates
+// the send side to the concrete transport via `send_bytes`.  Future
+// layers (VRP, AdOC, parallel streams) subclass it and keep the same
+// user-facing surface.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "core/bytes.hpp"
+#include "core/task.hpp"
+#include "core/time.hpp"
+
+namespace padico::vlink {
+
+class Link {
+ public:
+  Link(core::NodeId remote_node, core::Port local_port, core::Port remote_port)
+      : remote_node_(remote_node),
+        local_port_(local_port),
+        remote_port_(remote_port) {}
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+  virtual ~Link() = default;
+
+  core::NodeId remote_node() const noexcept { return remote_node_; }
+  core::Port local_port() const noexcept { return local_port_; }
+  core::Port remote_port() const noexcept { return remote_port_; }
+
+  /// Queue `data` for transmission and return immediately; the wire
+  /// paces delivery in virtual time.  Bytes arrive in post order.
+  void post_write(core::ByteView data) { send_bytes(data); }
+
+  /// Gather variant: the segments travel as one wire message.
+  void post_write(const core::IoVec& iov);
+
+  /// Await exactly `n` bytes from the stream.  Requests are served in
+  /// FIFO order; each returns a buffer of exactly `n` bytes.
+  core::Completion<core::Bytes> read_n(std::size_t n);
+
+  /// Bytes buffered and not yet claimed by a read.
+  std::size_t available() const noexcept { return rx_buf_.size() - rx_head_; }
+
+ protected:
+  /// Transport hook: actually emit `data` towards the peer.
+  virtual void send_bytes(core::ByteView data) = 0;
+
+  /// Called by the transport when stream bytes arrive from the peer.
+  void deliver(core::ByteView data);
+
+ private:
+  core::Bytes take(std::size_t n);
+  void drain();
+
+  struct PendingRead {
+    std::size_t n;
+    core::Completion<core::Bytes> completion;
+  };
+
+  core::NodeId remote_node_;
+  core::Port local_port_;
+  core::Port remote_port_;
+  core::Bytes rx_buf_;
+  std::size_t rx_head_ = 0;
+  std::deque<PendingRead> pending_;
+};
+
+}  // namespace padico::vlink

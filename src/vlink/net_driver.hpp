@@ -1,0 +1,70 @@
+// NetDriver: the baseline driver that carries vlink connections
+// directly over one simulated network.
+//
+// Wire format (one simnet message per segment, little-endian):
+//   [u8 type][u8 reserved][u16 src_port][u16 dst_port][u16 reserved]
+//   [u32 src_node][u32 reserved][u64 conn_id]  = 24 header bytes,
+// followed by the payload for kData.  The header bytes ride inside the
+// simnet payload, so multiplexing overhead shows up in the timing for
+// free — exactly the effect the MadIO header-combining experiments
+// measure later in the stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/host.hpp"
+#include "simnet/network.hpp"
+#include "vlink/driver.hpp"
+#include "vlink/link.hpp"
+
+namespace padico::vlink {
+
+class NetDriver final : public Driver {
+ public:
+  static constexpr std::size_t kHeaderSize = 24;
+
+  /// Registers itself as `net`'s receiver for `host.id()`.
+  NetDriver(core::Host& host, simnet::Network& net, std::string name);
+  ~NetDriver() override;
+
+  void listen(core::Port port, AcceptFn on_accept) override;
+  void unlisten(core::Port port) override;
+  void connect(const RemoteAddr& remote, ConnectFn on_connect) override;
+  bool reaches(core::NodeId node) const override;
+
+  simnet::Network& network() const noexcept { return *net_; }
+
+ private:
+  class NetLink;
+  friend class NetLink;
+
+  enum FrameType : std::uint8_t {
+    kConnect = 1,
+    kAccept = 2,
+    kRefuse = 3,
+    kData = 4,
+  };
+
+  struct Header {
+    FrameType type;
+    core::Port src_port;
+    core::Port dst_port;
+    core::NodeId src_node;
+    std::uint64_t conn_id;
+  };
+
+  void send_frame(core::NodeId dst, const Header& h, core::ByteView payload);
+  void on_message(core::NodeId src, core::Bytes msg);
+  void forget(std::uint64_t conn_id);
+
+  core::Host* host_;
+  simnet::Network* net_;
+  std::map<core::Port, AcceptFn> listeners_;
+  std::map<std::uint64_t, NetLink*> links_;
+  std::map<std::uint64_t, ConnectFn> connecting_;
+  std::uint64_t next_conn_ = 1;
+  core::Port next_ephemeral_ = 49152;
+};
+
+}  // namespace padico::vlink

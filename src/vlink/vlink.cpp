@@ -1,0 +1,45 @@
+#include "vlink/vlink.hpp"
+
+#include <utility>
+
+namespace padico::vlink {
+
+void VLink::add_driver(std::unique_ptr<Driver> driver) {
+  drivers_.push_back(std::move(driver));
+}
+
+Driver* VLink::driver(const std::string& method) const {
+  for (const auto& d : drivers_) {
+    if (d->name() == method) return d.get();
+  }
+  return nullptr;
+}
+
+void VLink::listen(core::Port port, Driver::AcceptFn on_accept) {
+  for (const auto& d : drivers_) d->listen(port, on_accept);
+}
+
+void VLink::connect(const std::string& method, const RemoteAddr& remote,
+                    Driver::ConnectFn on_connect) {
+  Driver* d = driver(method);
+  if (!d) {
+    on_connect(core::Result<std::unique_ptr<Link>>::err(
+        core::Status::error, "no driver named '" + method + "'"));
+    return;
+  }
+  d->connect(remote, std::move(on_connect));
+}
+
+void VLink::connect(const RemoteAddr& remote, Driver::ConnectFn on_connect) {
+  for (const auto& d : drivers_) {
+    if (d->reaches(remote.node)) {
+      d->connect(remote, std::move(on_connect));
+      return;
+    }
+  }
+  on_connect(core::Result<std::unique_ptr<Link>>::err(
+      core::Status::unreachable,
+      "no driver reaches node " + std::to_string(remote.node)));
+}
+
+}  // namespace padico::vlink

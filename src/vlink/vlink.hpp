@@ -1,0 +1,56 @@
+// VLink: the per-node virtual link service.
+//
+// It owns the node's set of drivers (access methods) keyed by name and
+// offers listen/connect either through an explicit method or through a
+// simple reachability-based default choice (a richer topology-aware
+// selector lands in a later layer and plugs in here).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/host.hpp"
+#include "vlink/driver.hpp"
+#include "vlink/link.hpp"
+
+namespace padico::vlink {
+
+class VLink {
+ public:
+  explicit VLink(core::Host& host) : host_(&host) {}
+  VLink(const VLink&) = delete;
+  VLink& operator=(const VLink&) = delete;
+
+  core::Host& host() const noexcept { return *host_; }
+  core::NodeId node() const noexcept { return host_->id(); }
+
+  /// Register a driver; insertion order is the default-selection
+  /// preference order (fastest network first).
+  void add_driver(std::unique_ptr<Driver> driver);
+
+  /// Look up a driver by method name; nullptr if absent.
+  Driver* driver(const std::string& method) const;
+
+  const std::vector<std::unique_ptr<Driver>>& drivers() const noexcept {
+    return drivers_;
+  }
+
+  /// Accept on `port` via every registered driver (a server does not
+  /// care which network the peer arrives on).
+  void listen(core::Port port, Driver::AcceptFn on_accept);
+
+  /// Connect through the named method.
+  void connect(const std::string& method, const RemoteAddr& remote,
+               Driver::ConnectFn on_connect);
+
+  /// Connect through the first registered driver that reaches the
+  /// remote node.
+  void connect(const RemoteAddr& remote, Driver::ConnectFn on_connect);
+
+ private:
+  core::Host* host_;
+  std::vector<std::unique_ptr<Driver>> drivers_;
+};
+
+}  // namespace padico::vlink

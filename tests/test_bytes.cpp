@@ -1,0 +1,74 @@
+#include "core/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pc = padico::core;
+
+TEST(Bytes, ViewOfVariants) {
+  pc::Bytes b{1, 2, 3};
+  pc::ByteView v = pc::view_of(b);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.data(), b.data());  // borrowed, not copied
+  EXPECT_EQ(v[2], 3);
+
+  pc::ByteView lit = pc::view_of("ping");
+  EXPECT_EQ(lit.size(), 4u);  // no trailing NUL
+  EXPECT_EQ(lit[0], 'p');
+
+  std::string s = "xy";
+  EXPECT_EQ(pc::view_of(s).size(), 2u);
+
+  EXPECT_EQ(pc::view_of(b.data(), 2).size(), 2u);
+}
+
+TEST(Bytes, ViewSubviewAndToBytes) {
+  pc::Bytes b{9, 8, 7, 6};
+  pc::ByteView v = pc::view_of(b).subview(1, 2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 8);
+  pc::Bytes copy = v.to_bytes();
+  EXPECT_EQ(copy, (pc::Bytes{8, 7}));
+}
+
+TEST(IoVec, RefSegmentsAreZeroCopy) {
+  pc::Bytes chunk(64, 0xab);
+  pc::IoVec v;
+  v.append_ref(pc::view_of(chunk));
+  v.append_ref(pc::view_of(chunk));
+  EXPECT_EQ(v.segments(), 2u);
+  EXPECT_EQ(v.byte_size(), 128u);
+  // The IoVec points straight at the caller's buffer.
+  EXPECT_EQ(v.view(0).data(), chunk.data());
+  EXPECT_EQ(v.view(1).data(), chunk.data());
+}
+
+TEST(IoVec, FlattenMixedOwnedAndRefSegments) {
+  pc::Bytes header{0x10, 0x20};
+  pc::Bytes body{1, 2, 3, 4};
+
+  pc::IoVec v;
+  v.append(std::move(header));        // owned (header adopted)
+  v.append_ref(pc::view_of(body));    // borrowed payload
+  v.append(pc::Bytes{0xff});          // owned trailer
+
+  EXPECT_EQ(v.segments(), 3u);
+  EXPECT_EQ(v.byte_size(), 7u);
+  EXPECT_EQ(v.flatten(), (pc::Bytes{0x10, 0x20, 1, 2, 3, 4, 0xff}));
+}
+
+TEST(IoVec, EmptyFlattens) {
+  pc::IoVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.flatten(), pc::Bytes{});
+}
+
+TEST(IoVec, OwnedSegmentSurvivesSourceDestruction) {
+  pc::IoVec v;
+  {
+    pc::Bytes tmp{5, 6, 7};
+    v.append(std::move(tmp));
+  }  // source gone; the IoVec owns the segment
+  EXPECT_EQ(v.flatten(), (pc::Bytes{5, 6, 7}));
+}

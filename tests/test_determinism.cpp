@@ -1,0 +1,113 @@
+// Acceptance criterion for the bootstrap PR: two runs of the same vlink
+// ping-pong over the paper testbed produce bit-identical virtual
+// timestamps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hpp"
+#include "grid/grid.hpp"
+#include "simnet/simnet.hpp"
+
+namespace pc = padico::core;
+namespace sn = padico::simnet;
+namespace gr = padico::grid;
+namespace vl = padico::vlink;
+
+namespace {
+
+struct RunTrace {
+  std::vector<pc::SimTime> round_stamps;
+  pc::SimTime final_now = 0;
+  std::uint64_t events = 0;
+
+  bool operator==(const RunTrace&) const = default;
+};
+
+RunTrace ping_pong_run(int rounds) {
+  gr::Grid grid;
+  grid.add_nodes(2);
+  sn::NetId san = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId lan = grid.add_network(sn::profiles::ethernet100());
+  for (pc::NodeId i = 0; i < 2; ++i) {
+    grid.attach(san, i);
+    grid.attach(lan, i);
+  }
+  grid.build();
+
+  std::unique_ptr<vl::Link> a, b;
+  grid.node(1).vlink().driver("madio")->listen(
+      7000, [&](std::unique_ptr<vl::Link> l) { b = std::move(l); });
+  grid.node(0).vlink().connect(
+      "madio", {1, 7000}, [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+        ASSERT_TRUE(r.ok()) << r.error().message;
+        a = std::move(*r);
+      });
+  grid.engine().run_while_pending([&] { return a && b; });
+
+  RunTrace trace;
+  bool done = false;
+  auto client = [&]() -> pc::Task {
+    for (int i = 0; i < rounds; ++i) {
+      a->post_write(pc::view_of("x"));
+      co_await a->read_n(1);
+      trace.round_stamps.push_back(grid.engine().now());
+    }
+    done = true;
+  };
+  auto server = [&]() -> pc::Task {
+    for (int i = 0; i < rounds; ++i) {
+      pc::Bytes ball = co_await b->read_n(1);
+      b->post_write(pc::view_of(ball));
+    }
+  };
+  auto ts = server();
+  auto tc = client();
+  grid.engine().run_while_pending([&] { return done; });
+
+  trace.final_now = grid.engine().now();
+  trace.events = grid.engine().processed();
+  return trace;
+}
+
+}  // namespace
+
+TEST(Determinism, PingPongTimestampsBitIdenticalAcrossRuns) {
+  const RunTrace first = ping_pong_run(32);
+  const RunTrace second = ping_pong_run(32);
+  ASSERT_EQ(first.round_stamps.size(), 32u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, RoundTripsAreEvenlySpaced) {
+  const RunTrace t = ping_pong_run(8);
+  ASSERT_GE(t.round_stamps.size(), 2u);
+  // In steady state every round trip costs the same virtual duration.
+  const pc::Duration rtt = t.round_stamps[1] - t.round_stamps[0];
+  for (std::size_t i = 2; i < t.round_stamps.size(); ++i) {
+    EXPECT_EQ(t.round_stamps[i] - t.round_stamps[i - 1], rtt) << "round " << i;
+  }
+  // Myrinet profile: RTT ~ 2 * (7 us + small tx time).
+  EXPECT_GT(pc::to_micros(rtt), 13.0);
+  EXPECT_LT(pc::to_micros(rtt), 16.0);
+}
+
+TEST(Determinism, LossyNetworkStillDeterministic) {
+  auto run = [] {
+    gr::Grid grid;
+    grid.add_nodes(2);
+    sn::NetId net =
+        grid.add_network(sn::profiles::transcontinental_internet(0.07));
+    grid.attach(net, 0);
+    grid.attach(net, 1);
+    grid.build();
+    for (int i = 0; i < 32; ++i) {
+      grid.fabric().network(net).send(0, 1, pc::Bytes(1500, 0x11));
+    }
+    grid.engine().run_until_idle();
+    return std::make_pair(grid.fabric().network(net).messages_dropped(),
+                          grid.engine().now());
+  };
+  EXPECT_EQ(run(), run());
+}

@@ -1,0 +1,100 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace pc = padico::core;
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  pc::Engine e;
+  std::vector<int> order;
+  e.schedule_at(300, [&] { order.push_back(3); });
+  e.schedule_at(100, [&] { order.push_back(1); });
+  e.schedule_at(200, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run_until_idle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 300u);
+}
+
+TEST(Engine, FifoWithinSameInstant) {
+  pc::Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    e.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  e.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Engine, NowVisibleInsideCallback) {
+  pc::Engine e;
+  pc::SimTime seen = 0;
+  e.schedule_at(777, [&] { seen = e.now(); });
+  e.run_until_idle();
+  EXPECT_EQ(seen, 777u);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  pc::Engine e;
+  std::vector<pc::SimTime> times;
+  std::function<void()> tick = [&] {
+    times.push_back(e.now());
+    if (times.size() < 4) e.schedule_after(10, tick);
+  };
+  e.schedule_at(0, tick);
+  e.run_until_idle();
+  EXPECT_EQ(times, (std::vector<pc::SimTime>{0, 10, 20, 30}));
+}
+
+TEST(Engine, PastTimestampClampsToNow) {
+  pc::Engine e;
+  pc::SimTime seen = 1234;
+  e.schedule_at(100, [&] {
+    e.schedule_at(5, [&] { seen = e.now(); });  // 5 < now()=100
+  });
+  e.run_until_idle();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Engine, RunWhilePendingStopsOnPredicate) {
+  pc::Engine e;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(static_cast<pc::SimTime>(i), [&] { ++fired; });
+  }
+  const std::size_t n = e.run_while_pending([&] { return fired >= 4; });
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_TRUE(e.pending());
+  EXPECT_EQ(e.pending_count(), 6u);
+}
+
+TEST(Engine, RunWhilePendingStopsOnExhaustion) {
+  pc::Engine e;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(static_cast<pc::SimTime>(i), [&] { ++fired; });
+  }
+  // Predicate never satisfied: the loop must exit on queue exhaustion.
+  const std::size_t n = e.run_while_pending([] { return false; });
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_FALSE(e.pending());
+}
+
+TEST(Engine, DeterministicTraceAcrossRuns) {
+  auto run = [] {
+    pc::Engine e;
+    std::vector<std::pair<pc::SimTime, int>> trace;
+    for (int i = 0; i < 32; ++i) {
+      // Deliberately colliding timestamps exercise the FIFO tiebreak.
+      e.schedule_at(static_cast<pc::SimTime>((i * 7) % 5),
+                    [&trace, &e, i] { trace.emplace_back(e.now(), i); });
+    }
+    e.run_until_idle();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}

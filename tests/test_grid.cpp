@@ -1,0 +1,149 @@
+#include "grid/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "core/core.hpp"
+#include "simnet/simnet.hpp"
+
+namespace pc = padico::core;
+namespace sn = padico::simnet;
+namespace gr = padico::grid;
+namespace vl = padico::vlink;
+
+namespace {
+
+/// The paper's dual-network testbed (same shape as bench::attach_testbed).
+void attach_testbed(gr::Grid& grid, int nodes = 2) {
+  grid.add_nodes(nodes);
+  sn::NetId san = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId lan = grid.add_network(sn::profiles::ethernet100());
+  for (int i = 0; i < nodes; ++i) {
+    grid.attach(san, static_cast<pc::NodeId>(i));
+    grid.attach(lan, static_cast<pc::NodeId>(i));
+  }
+}
+
+}  // namespace
+
+TEST(Grid, BuildCreatesNodesAndDrivers) {
+  gr::Grid grid;
+  attach_testbed(grid);
+  grid.build();
+
+  ASSERT_TRUE(grid.built());
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid.fabric().network_count(), 2u);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    gr::Node& n = grid.node(i);
+    EXPECT_EQ(n.id(), i);
+    EXPECT_EQ(n.host().id(), i);
+    EXPECT_EQ(&n.host().engine(), &grid.engine());
+    // One driver per attachment, named from the profiles.
+    EXPECT_NE(n.vlink().driver("madio"), nullptr);
+    EXPECT_NE(n.vlink().driver("sysio"), nullptr);
+    EXPECT_EQ(n.vlink().driver("bogus"), nullptr);
+    EXPECT_EQ(n.vlink().drivers().size(), 2u);
+  }
+}
+
+TEST(Grid, AttachUndeclaredNodeThrows) {
+  gr::Grid grid;
+  grid.add_nodes(2);
+  sn::NetId net = grid.add_network(sn::profiles::ethernet100());
+  EXPECT_THROW(grid.attach(net, 5), std::out_of_range);
+}
+
+TEST(Grid, BuildIsIdempotentAndNodeBeforeBuildThrows) {
+  gr::Grid grid;
+  grid.add_nodes(1);
+  EXPECT_THROW(grid.node(0), std::logic_error);
+  grid.build();
+  grid.build();  // second call is a no-op
+  EXPECT_EQ(grid.size(), 1u);
+}
+
+TEST(Grid, BuildOptionsAreRecorded) {
+  gr::Grid grid;
+  grid.add_nodes(1);
+  gr::BuildOptions opts;
+  opts.wan_method = "sysio";
+  opts.header_combining = false;
+  opts.vrp.max_loss = 0.1;
+  grid.build(opts);
+  EXPECT_EQ(grid.options().wan_method, "sysio");
+  EXPECT_FALSE(grid.options().header_combining);
+  EXPECT_DOUBLE_EQ(grid.options().vrp.max_loss, 0.1);
+}
+
+TEST(Grid, MethodlessConnectPrefersFirstAttachedNetwork) {
+  gr::Grid grid;
+  attach_testbed(grid);  // SAN attached before LAN on every node
+  grid.build();
+
+  std::unique_ptr<vl::Link> a, b;
+  grid.node(1).vlink().listen(
+      6000, [&](std::unique_ptr<vl::Link> l) { b = std::move(l); });
+  grid.node(0).vlink().connect(
+      {1, 6000}, [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+        ASSERT_TRUE(r.ok());
+        a = std::move(*r);
+      });
+  grid.engine().run_while_pending([&] { return a && b; });
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  // The SAN round-trip is ~14 us; the LAN's would be >= 100 us.
+  EXPECT_LT(pc::to_micros(grid.engine().now()), 20.0);
+}
+
+TEST(Grid, TwoClusterTopologyRoutesAcrossWan) {
+  // bench_selector's shape: two 2-node SAN clusters joined by a WAN.
+  gr::Grid grid;
+  grid.add_nodes(4);
+  sn::NetId sanA = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId sanB = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId wan = grid.add_network(sn::profiles::vthd_wan());
+  grid.attach(sanA, 0);
+  grid.attach(sanA, 1);
+  grid.attach(sanB, 2);
+  grid.attach(sanB, 3);
+  for (pc::NodeId i = 0; i < 4; ++i) grid.attach(wan, i);
+  grid.build();
+
+  // Node 0 sees its SAN and the WAN, not cluster B's SAN.
+  EXPECT_NE(grid.node(0).vlink().driver("madio"), nullptr);
+  EXPECT_NE(grid.node(0).vlink().driver("sysio"), nullptr);
+  EXPECT_EQ(grid.node(0).vlink().drivers().size(), 2u);
+
+  // Cross-cluster: only the WAN reaches node 2 from node 0.
+  std::unique_ptr<vl::Link> a, b;
+  grid.node(2).vlink().listen(
+      6100, [&](std::unique_ptr<vl::Link> l) { b = std::move(l); });
+  grid.node(0).vlink().connect(
+      {2, 6100}, [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+        ASSERT_TRUE(r.ok());
+        a = std::move(*r);
+      });
+  grid.engine().run_while_pending([&] { return a && b; });
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  // WAN latency (5 ms one-way) dominates the handshake.
+  EXPECT_GT(pc::to_millis(grid.engine().now()), 9.0);
+}
+
+TEST(Grid, TwinSansOnOneNodeGetDistinctMethods) {
+  gr::Grid grid;
+  grid.add_nodes(2);
+  sn::NetId san1 = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId san2 = grid.add_network(sn::profiles::myrinet2000());
+  for (pc::NodeId i = 0; i < 2; ++i) {
+    grid.attach(san1, i);
+    grid.attach(san2, i);
+  }
+  grid.build();
+  EXPECT_NE(grid.node(0).vlink().driver("madio"), nullptr);
+  EXPECT_NE(grid.node(0).vlink().driver("madio@1"), nullptr);
+}

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/result.hpp"
+#include "core/rng.hpp"
+
+namespace pc = padico::core;
+
+TEST(Result, OkCarriesValue) {
+  pc::Result<int> r(41);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(*r, 41);
+  EXPECT_EQ(r.status(), pc::Status::ok);
+}
+
+TEST(Result, ErrCarriesStatusAndMessage) {
+  auto r = pc::Result<int>::err(pc::Status::refused, "no listener");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), pc::Status::refused);
+  EXPECT_EQ(r.error().message, "no listener");
+  EXPECT_STREQ(pc::to_string(r.status()), "refused");
+}
+
+TEST(Result, MoveOnlyPayload) {
+  pc::Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(*r);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  pc::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  pc::Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  pc::Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  pc::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.uniform_int(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}

@@ -1,0 +1,117 @@
+#include "core/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "core/engine.hpp"
+
+namespace pc = padico::core;
+
+TEST(Task, StartsEagerly) {
+  bool ran = false;
+  auto prog = [&]() -> pc::Task {
+    ran = true;
+    co_return;
+  };
+  auto t = prog();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(Task, CompletionResolvedBeforeAwait) {
+  pc::Completion<int> c;
+  c.complete(42);
+  EXPECT_TRUE(c.ready());
+  std::optional<int> got;
+  auto prog = [&]() -> pc::Task {
+    got = co_await c;  // must not suspend
+  };
+  auto t = prog();
+  EXPECT_EQ(got, 42);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(Task, CompletionResolvedAfterAwait) {
+  pc::Completion<int> c;
+  std::optional<int> got;
+  auto prog = [&]() -> pc::Task { got = co_await c; };
+  auto t = prog();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_FALSE(t.done());
+  c.complete(7);  // resumes the coroutine inline
+  EXPECT_EQ(got, 7);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(Task, VoidCompletion) {
+  pc::Completion<void> c;
+  bool resumed = false;
+  auto prog = [&]() -> pc::Task {
+    co_await c;
+    resumed = true;
+  };
+  auto t = prog();
+  EXPECT_FALSE(resumed);
+  c.complete();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Task, MoveOnlyValueThroughCompletion) {
+  pc::Completion<std::unique_ptr<int>> c;
+  int got = 0;
+  auto prog = [&]() -> pc::Task {
+    std::unique_ptr<int> p = co_await c;
+    got = *p;
+  };
+  auto t = prog();
+  c.complete(std::make_unique<int>(99));
+  EXPECT_EQ(got, 99);
+}
+
+// Destroying a task that is parked on a completion must detach it: a
+// late complete() is dropped instead of resuming a dead frame.
+TEST(Task, DestroyedMidAwaitDetachesSafely) {
+  pc::Completion<int> c;
+  bool resumed = false;
+  {
+    auto prog = [&]() -> pc::Task {
+      co_await c;
+      resumed = true;
+    };
+    auto t = prog();
+    EXPECT_FALSE(t.done());
+  }  // task destroyed here, coroutine still suspended
+  c.complete(1);
+  EXPECT_FALSE(resumed);
+}
+
+TEST(Task, SequentialAwaitsOnFreshCompletions) {
+  pc::Engine e;
+  std::vector<pc::SimTime> stamps;
+  auto prog = [&]() -> pc::Task {
+    co_await pc::sleep_for(e, pc::microseconds(5));
+    stamps.push_back(e.now());
+    co_await pc::sleep_for(e, pc::microseconds(10));
+    stamps.push_back(e.now());
+  };
+  auto t = prog();
+  e.run_until_idle();
+  EXPECT_EQ(stamps, (std::vector<pc::SimTime>{5'000, 15'000}));
+  EXPECT_TRUE(t.done());
+}
+
+TEST(Task, SleepForAdvancesVirtualTimeOnly) {
+  pc::Engine e;
+  bool woke = false;
+  auto prog = [&]() -> pc::Task {
+    co_await pc::sleep_for(e, pc::milliseconds(2));
+    woke = true;
+  };
+  auto t = prog();
+  EXPECT_FALSE(woke);
+  e.run_until_idle();
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(e.now(), pc::milliseconds(2));
+}

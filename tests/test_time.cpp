@@ -1,0 +1,36 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pc = padico::core;
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(pc::nanoseconds(7), 7u);
+  EXPECT_EQ(pc::microseconds(7), 7'000u);
+  EXPECT_EQ(pc::milliseconds(2), 2'000'000u);
+  EXPECT_EQ(pc::seconds(3), 3'000'000'000u);
+}
+
+TEST(Time, ToSecondsAndMicros) {
+  EXPECT_DOUBLE_EQ(pc::to_seconds(pc::seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(pc::to_micros(pc::microseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(pc::to_millis(pc::milliseconds(9)), 9.0);
+  EXPECT_DOUBLE_EQ(pc::to_micros(1), 0.001);  // sub-microsecond precision
+}
+
+// The boundary bench::mbps leans on: a zero-length interval must map to
+// exactly 0.0 seconds so the guard `elapsed == 0` is the only special
+// case.
+TEST(Time, ZeroDurationBoundary) {
+  EXPECT_EQ(pc::to_seconds(0), 0.0);
+  EXPECT_EQ(pc::to_micros(0), 0.0);
+  const pc::SimTime t = 12345;
+  EXPECT_EQ(t - t, 0u);
+}
+
+TEST(Time, BandwidthMathRoundTrips) {
+  // 240 MB in one virtual second -> 240e6 B/s without drift.
+  const pc::Duration elapsed = pc::seconds(1);
+  const double rate = 240e6 / pc::to_seconds(elapsed);
+  EXPECT_DOUBLE_EQ(rate, 240e6);
+}
