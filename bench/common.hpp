@@ -341,10 +341,13 @@ inline double link_latency_us(gr::Grid& grid, LinkPair& p, int rounds = 32) {
 inline double link_bandwidth_mbps(gr::Grid& grid, LinkPair& p,
                                   std::size_t size, int count = 0) {
   if (count == 0) count = message_count(size);
-  pc::SimTime t0 = grid.engine().now(), t1 = 0;
+  pc::SimTime t0 = 0, t1 = 0;
   bool done = false;
   auto client = [&]() -> pc::Task {
     pc::Bytes payload(size, 0x11);
+    // Stamp t0 inside the sender task, like every other driver here, so
+    // figures stay comparable across drivers.
+    t0 = grid.engine().now();
     for (int i = 0; i < count; ++i) p.a->post_write(pc::view_of(payload));
     co_return;
   };

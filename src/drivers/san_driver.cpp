@@ -1,0 +1,127 @@
+#include "drivers/san_driver.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace padico::drv {
+
+GmCosts gm_costs() { return GmCosts{}; }
+
+namespace {
+
+core::Bytes make_frame(std::uint8_t type, std::uint32_t seq,
+                       core::ByteView payload) {
+  core::Bytes frame(SanDriver::kFrameHeader + payload.size(), 0);
+  frame[0] = type;
+  std::memcpy(frame.data() + 4, &seq, sizeof(seq));
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + SanDriver::kFrameHeader, payload.data(),
+                payload.size());
+  }
+  return frame;
+}
+
+}  // namespace
+
+SanDriver::SanDriver(core::Host& host, simnet::Fabric& fabric,
+                     simnet::NetId net, GmCosts costs, std::string name)
+    : host_(&host),
+      net_(&fabric.network(net)),
+      costs_(costs),
+      name_(std::move(name)) {
+  // GM-style drivers assume the SAN hardware is reliable and in-order;
+  // the layers above (MadIO header pairing, rendezvous) depend on it.
+  // Lossy paths belong to the IP drivers and, later, VRP.
+  if (net_->model().loss_rate != 0.0) {
+    throw std::invalid_argument("SanDriver: network '" + net_->model().name +
+                                "' is lossy; SAN drivers require a reliable "
+                                "network");
+  }
+  net_->set_receiver(host_->id(), [this](core::NodeId src, core::Bytes msg) {
+    on_wire(src, std::move(msg));
+  });
+}
+
+SanDriver::~SanDriver() { net_->set_receiver(host_->id(), nullptr); }
+
+bool SanDriver::reaches(core::NodeId node) const {
+  return node != host_->id() && net_->attached(node);
+}
+
+void SanDriver::send(core::NodeId dst, core::Bytes msg) {
+  Peer& peer = peers_[dst];
+  peer.queue.push_back(Pending{std::move(msg), peer.next_seq++});
+  pump(dst);
+}
+
+void SanDriver::pump(core::NodeId dst) {
+  Peer& peer = peers_[dst];
+  while (!peer.queue.empty() && !peer.awaiting_ack) {
+    if (peer.queue.front().msg.size() > costs_.eager_threshold) {
+      // Rendezvous: ask first, hold the queue until the ACK arrives so
+      // later messages cannot overtake the large one.
+      peer.awaiting_ack = true;
+      ++rendezvous_sent_;
+      emit(dst, kReq, peer.queue.front().seq, {});
+      return;
+    }
+    Pending out = std::move(peer.queue.front());
+    peer.queue.pop_front();
+    ++eager_sent_;
+    emit(dst, kEager, out.seq, core::view_of(out.msg));
+  }
+}
+
+void SanDriver::emit(core::NodeId dst, FrameType type, std::uint32_t seq,
+                     core::ByteView payload) {
+  core::Bytes frame = make_frame(type, seq, payload);
+  // Host-side injection: the CPU serialises message preparation, so
+  // back-to-back small sends pay per-message cost additively.
+  core::Engine& eng = host_->engine();
+  const core::Duration cost =
+      costs_.per_message +
+      static_cast<core::Duration>(
+          std::llround(costs_.per_byte_ns * static_cast<double>(frame.size())));
+  cpu_busy_until_ = std::max(cpu_busy_until_, eng.now()) + cost;
+  eng.schedule_at(cpu_busy_until_,
+                  [this, dst, frame = std::move(frame)]() mutable {
+                    net_->send(host_->id(), dst, std::move(frame));
+                  });
+}
+
+void SanDriver::on_wire(core::NodeId src, core::Bytes frame) {
+  if (frame.size() < kFrameHeader) return;  // malformed; drop
+  const std::uint8_t type = frame[0];
+  switch (type) {
+    case kReq: {
+      std::uint32_t seq = 0;
+      std::memcpy(&seq, frame.data() + 4, sizeof(seq));
+      emit(src, kAck, seq, {});
+      return;
+    }
+    case kAck: {
+      auto it = peers_.find(src);
+      if (it == peers_.end() || !it->second.awaiting_ack) return;  // stale
+      Peer& peer = it->second;
+      peer.awaiting_ack = false;
+      Pending out = std::move(peer.queue.front());
+      peer.queue.pop_front();
+      emit(src, kData, out.seq, core::view_of(out.msg));
+      pump(src);
+      return;
+    }
+    case kEager:
+    case kData: {
+      if (!recv_) return;
+      core::Bytes payload(frame.begin() + kFrameHeader, frame.end());
+      recv_(src, std::move(payload));
+      return;
+    }
+    default:
+      return;  // unknown frame type; drop
+  }
+}
+
+}  // namespace padico::drv

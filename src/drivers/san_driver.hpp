@@ -1,0 +1,115 @@
+// SanDriver: a GM-like user-level SAN access driver (the layer plain
+// Madeleine sits on for Myrinet in the paper's stack).
+//
+// Cost model (`GmCosts`, stock profile `gm_costs()`): every injected
+// message occupies the host CPU for a fixed per-message cost plus a
+// per-byte copy cost before it reaches the NIC — the dominant term of
+// small-message latency on a real SAN.  Messages above the eager
+// threshold switch to a rendezvous: a REQ control frame travels to the
+// receiver, the receiver answers ACK, and only then does the payload
+// transmit (GM's receiver-paced large-message protocol).  Costs are
+// charged on the sending host only; the wire itself is timed by the
+// simnet layer underneath.
+//
+// Ordering: messages to one destination are injected strictly in post
+// order — a rendezvous in progress stalls the queue behind it — so the
+// byte-stream layers above never see reordering across the eager /
+// rendezvous boundary.
+//
+// Wire format, one simnet message per frame (host byte order):
+//   [u8 type][u8 reserved][u16 reserved][u32 seq]  = 8 header bytes,
+// followed by the payload for kEager / kData frames.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/host.hpp"
+#include "simnet/network.hpp"
+
+namespace padico::drv {
+
+/// Host-side cost profile of the SAN access method.
+struct GmCosts {
+  /// Fixed CPU cost to inject one message (descriptor setup, doorbell).
+  core::Duration per_message = core::nanoseconds(700);
+
+  /// CPU cost per payload byte (pinned-buffer copy), in ns/byte.
+  double per_byte_ns = 0.4;
+
+  /// Largest payload sent eagerly; bigger messages rendezvous first.
+  std::size_t eager_threshold = 32 * 1024;
+};
+
+/// The stock GM-like profile used for the Myrinet-2000 attachment.
+GmCosts gm_costs();
+
+class SanDriver {
+ public:
+  using RecvFn = std::function<void(core::NodeId src, core::Bytes msg)>;
+
+  static constexpr std::size_t kFrameHeader = 8;
+
+  /// Registers itself as the receiver for `host.id()` on network `net`.
+  SanDriver(core::Host& host, simnet::Fabric& fabric, simnet::NetId net,
+            GmCosts costs, std::string name);
+  SanDriver(const SanDriver&) = delete;
+  SanDriver& operator=(const SanDriver&) = delete;
+  ~SanDriver();
+
+  const std::string& name() const noexcept { return name_; }
+  const GmCosts& costs() const noexcept { return costs_; }
+  core::Host& host() const noexcept { return *host_; }
+  simnet::Network& network() const noexcept { return *net_; }
+
+  /// Install the single upper-layer receiver (Madeleine owns demux).
+  void set_receiver(RecvFn fn) { recv_ = std::move(fn); }
+
+  /// Queue `msg` for delivery to `dst`.  Returns immediately; injection
+  /// cost, rendezvous and wire time all unfold in virtual time.
+  void send(core::NodeId dst, core::Bytes msg);
+
+  bool reaches(core::NodeId node) const;
+
+  std::uint64_t eager_sent() const noexcept { return eager_sent_; }
+  std::uint64_t rendezvous_sent() const noexcept { return rendezvous_sent_; }
+
+ private:
+  enum FrameType : std::uint8_t {
+    kEager = 1,  // payload, fire-and-forget
+    kReq = 2,    // rendezvous request
+    kAck = 3,    // rendezvous clear-to-send
+    kData = 4,   // payload after rendezvous
+  };
+
+  struct Pending {
+    core::Bytes msg;
+    std::uint32_t seq;
+  };
+
+  struct Peer {
+    std::deque<Pending> queue;
+    bool awaiting_ack = false;
+    std::uint32_t next_seq = 1;
+  };
+
+  void pump(core::NodeId dst);
+  void emit(core::NodeId dst, FrameType type, std::uint32_t seq,
+            core::ByteView payload);
+  void on_wire(core::NodeId src, core::Bytes frame);
+
+  core::Host* host_;
+  simnet::Network* net_;
+  GmCosts costs_;
+  std::string name_;
+  RecvFn recv_;
+  std::map<core::NodeId, Peer> peers_;
+  core::SimTime cpu_busy_until_ = 0;
+  std::uint64_t eager_sent_ = 0;
+  std::uint64_t rendezvous_sent_ = 0;
+};
+
+}  // namespace padico::drv

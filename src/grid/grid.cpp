@@ -3,9 +3,45 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "drivers/san_driver.hpp"
+#include "madeleine/madeleine.hpp"
+#include "net/madio.hpp"
+#include "net/madio_driver.hpp"
+#include "net/netaccess.hpp"
 #include "vlink/net_driver.hpp"
 
 namespace padico::grid {
+
+/// One SAN attachment's arbitration stack, bottom-up.
+struct Grid::SanStack {
+  drv::SanDriver san;
+  mad::Madeleine madeleine;
+  net::MadIO io;
+
+  SanStack(core::Host& host, simnet::Fabric& fabric, simnet::NetId net,
+           net::NetAccess& access, bool header_combining)
+      : san(host, fabric, net, drv::gm_costs(), "gm"),
+        madeleine(host, san),
+        io(access, madeleine, header_combining) {}
+};
+
+Node::Node(core::Engine& engine, core::NodeId id)
+    : host_(engine, id),
+      vlink_(host_),
+      access_(std::make_unique<net::NetAccess>(host_)) {}
+
+Node::~Node() = default;
+
+net::Arbitration& Node::arbitration() noexcept {
+  return access_->arbitration();
+}
+
+net::MadIO* Node::madio(std::size_t i) const noexcept {
+  return i < madios_.size() ? madios_[i] : nullptr;
+}
+
+Grid::Grid() = default;
+Grid::~Grid() = default;
 
 void Grid::add_nodes(int n) {
   assert(!built_ && "topology frozen by build()");
@@ -43,15 +79,34 @@ void Grid::build(const BuildOptions& options) {
   // typical "SAN first, LAN second" testbed auto-selects the SAN.
   for (const auto& [net_id, node_id] : attachments_) {
     simnet::Network& net = fabric_.network(net_id);
-    vlink::VLink& vl = nodes_[node_id]->vlink();
+    Node& node = *nodes_[node_id];
+    vlink::VLink& vl = node.vlink();
     std::string method = net.model().driver;
     if (vl.driver(method) != nullptr) {
       // Two same-profile networks on one node (e.g. twin SANs): keep
-      // method names unique and deterministic.
-      method += "@" + std::to_string(net_id);
+      // method names unique and deterministic.  (Two appends rather
+      // than operator+ to dodge GCC 12's -Wrestrict false positive.)
+      method += "@";
+      method += std::to_string(net_id);
     }
-    vl.add_driver(std::make_unique<vlink::NetDriver>(
-        nodes_[node_id]->host(), net, method));
+    if (net.model().driver == "madio") {
+      // SAN: the full arbitration stack under the vlink method.
+      auto stack = std::make_unique<SanStack>(node.host(), fabric_, net_id,
+                                              node.access(),
+                                              options_.header_combining);
+      node.madios_.push_back(&stack->io);
+      vl.add_driver(std::make_unique<net::MadIODriver>(stack->io, method));
+      san_stacks_.push_back(std::move(stack));
+    } else {
+      // IP network: baseline NetDriver, arbitrated on the SysIO side.
+      auto driver =
+          std::make_unique<vlink::NetDriver>(node.host(), net, method);
+      driver->set_dispatch(
+          [access = &node.access()](std::function<void()> fn) {
+            access->post_sys(std::move(fn));
+          });
+      vl.add_driver(std::move(driver));
+    }
   }
 }
 

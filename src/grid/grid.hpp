@@ -8,11 +8,15 @@
 //   grid.build();
 //   grid.node(0).vlink().connect("madio", {1, port}, cb);
 //
-// `build()` freezes the topology: it creates one Host + VLink per node
-// and, for every (network, node) attachment, registers a baseline
-// NetDriver named after the network profile's driver method ("madio"
-// for the SAN, "sysio" for IP networks).  Later layers replace or wrap
-// these drivers without changing the topology API.
+// `build()` freezes the topology: it creates one Host + VLink +
+// NetAccess per node and, for every (network, node) attachment,
+// registers a driver named after the network profile's driver method.
+// SAN attachments ("madio") get the full arbitration stack — SanDriver
+// -> Madeleine -> MadIO -> MadIODriver — honouring
+// BuildOptions::header_combining; IP attachments ("sysio") keep the
+// baseline NetDriver, with deliveries routed through the node's
+// arbitration so SysIO and MadIO traffic genuinely contend
+// (node.arbitration() tunes the interleave).
 #pragma once
 
 #include <cstddef>
@@ -25,6 +29,12 @@
 #include "core/host.hpp"
 #include "simnet/network.hpp"
 #include "vlink/vlink.hpp"
+
+namespace padico::net {
+class Arbitration;
+class MadIO;
+class NetAccess;
+}  // namespace padico::net
 
 namespace padico::grid {
 
@@ -46,25 +56,40 @@ struct BuildOptions {
 
 class Node {
  public:
-  Node(core::Engine& engine, core::NodeId id)
-      : host_(engine, id), vlink_(host_) {}
+  Node(core::Engine& engine, core::NodeId id);
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
+  ~Node();
 
   core::NodeId id() const noexcept { return host_.id(); }
   core::Host& host() noexcept { return host_; }
   vlink::VLink& vlink() noexcept { return vlink_; }
 
+  /// The node's NetAccess point (all incoming traffic funnels here).
+  net::NetAccess& access() noexcept { return *access_; }
+
+  /// The node's SysIO/MadIO interleaving policy knobs.
+  net::Arbitration& arbitration() noexcept;
+
+  /// The MadIO instance of the i-th SAN attachment; nullptr if the
+  /// node has no such attachment.
+  net::MadIO* madio(std::size_t i = 0) const noexcept;
+
  private:
+  friend class Grid;
+
   core::Host host_;
   vlink::VLink vlink_;
+  std::unique_ptr<net::NetAccess> access_;
+  std::vector<net::MadIO*> madios_;  // borrowed from Grid's SAN stacks
 };
 
 class Grid {
  public:
-  Grid() = default;
+  Grid();
   Grid(const Grid&) = delete;
   Grid& operator=(const Grid&) = delete;
+  ~Grid();
 
   core::Engine& engine() noexcept { return engine_; }
   simnet::Fabric& fabric() noexcept { return fabric_; }
@@ -79,7 +104,7 @@ class Grid {
   void attach(simnet::NetId net, core::NodeId node);
 
   /// Freeze the topology and instantiate per-node hosts, vlinks and
-  /// baseline drivers.  Idempotent; the second call is a no-op.
+  /// drivers.  Idempotent; the second call is a no-op.
   void build() { build(BuildOptions{}); }
   void build(const BuildOptions& options);
 
@@ -90,11 +115,16 @@ class Grid {
   Node& node(std::size_t i);
 
  private:
+  struct SanStack;  // SanDriver + Madeleine + MadIO, defined in grid.cpp
+
   core::Engine engine_;
   simnet::Fabric fabric_{engine_};
   std::size_t node_count_ = 0;
   std::vector<std::pair<simnet::NetId, core::NodeId>> attachments_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Declared after nodes_ so stacks die before the vlink drivers that
+  // borrow them; nothing runs the engine in between.
+  std::vector<std::unique_ptr<SanStack>> san_stacks_;
   BuildOptions options_;
   bool built_ = false;
 };

@@ -1,0 +1,68 @@
+#include "madeleine/madeleine.hpp"
+
+#include <cstring>
+
+namespace padico::mad {
+
+Madeleine::Madeleine(core::Host& host, drv::SanDriver& driver)
+    : host_(&host), drv_(&driver) {
+  drv_->set_receiver([this](core::NodeId src, core::Bytes msg) {
+    on_driver_message(src, std::move(msg));
+  });
+}
+
+Channel* Madeleine::open_channel() {
+  channels_.push_back(std::make_unique<Channel>(
+      Channel{static_cast<std::uint8_t>(channels_.size())}));
+  return channels_.back().get();
+}
+
+void Madeleine::set_recv_handler(Channel& channel, RecvHandler handler) {
+  handlers_[channel.id] = std::move(handler);
+}
+
+PackHandle Madeleine::begin_packing(Channel& channel, core::NodeId dst) {
+  return PackHandle(channel.id, dst);
+}
+
+void Madeleine::end_packing(PackHandle handle) {
+  const std::uint16_t segments =
+      static_cast<std::uint16_t>(handle.iov_.segments());
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(handle.iov_.byte_size());
+  core::Bytes msg(kHeaderSize + length, 0);
+  msg[0] = kMagic;
+  msg[1] = handle.channel_;
+  std::memcpy(msg.data() + 2, &segments, sizeof(segments));
+  std::memcpy(msg.data() + 4, &length, sizeof(length));
+  std::size_t off = kHeaderSize;
+  for (std::size_t i = 0; i < handle.iov_.segments(); ++i) {
+    const core::ByteView seg = handle.iov_.view(i);
+    std::memcpy(msg.data() + off, seg.data(), seg.size());
+    off += seg.size();
+  }
+  drv_->send(handle.dst_, std::move(msg));
+}
+
+void Madeleine::on_driver_message(core::NodeId src, core::Bytes msg) {
+  if (msg.size() < kHeaderSize || msg[0] != kMagic) {
+    ++malformed_;
+    return;
+  }
+  std::uint32_t length = 0;
+  std::memcpy(&length, msg.data() + 4, sizeof(length));
+  if (msg.size() - kHeaderSize != length) {
+    ++malformed_;
+    return;
+  }
+  auto it = handlers_.find(msg[1]);
+  if (it == handlers_.end() || !it->second) {
+    ++malformed_;  // message for a channel nobody listens on
+    return;
+  }
+  ++received_;
+  UnpackHandle handle(std::move(msg), kHeaderSize);
+  it->second(src, handle);
+}
+
+}  // namespace padico::mad

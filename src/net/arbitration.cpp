@@ -1,0 +1,49 @@
+#include "net/arbitration.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace padico::net {
+
+void Arbitration::set_policy(int sys_weight, int mad_weight) {
+  weight_[0] = std::max(1, sys_weight);
+  weight_[1] = std::max(1, mad_weight);
+  credit_ = weight_[cur_];  // fresh turn under the new policy
+}
+
+void Arbitration::enqueue(Substrate s, std::function<void()> fn) {
+  queue_[static_cast<int>(s)].push_back(std::move(fn));
+  if (!pumping_) {
+    pumping_ = true;
+    engine_->schedule_after(dispatch_cost_, [this] { pump(); });
+  }
+}
+
+void Arbitration::pump() {
+  // One poll iteration.  The choice of substrate is made here, at poll
+  // time, so events queued since the iteration was scheduled count.
+  const bool have_cur = !queue_[cur_].empty();
+  const bool have_other = !queue_[1 - cur_].empty();
+  if (!have_cur && !have_other) {
+    // Idle: keep `cur_` sticky so the next lone event of the same
+    // substrate pays no switch cost.
+    pumping_ = false;
+    return;
+  }
+  if (!have_cur || (credit_ <= 0 && have_other)) {
+    // Poll the other substrate: pay the switch cost, then re-decide.
+    cur_ = 1 - cur_;
+    credit_ = weight_[cur_];
+    engine_->schedule_after(switch_cost_, [this] { pump(); });
+    return;
+  }
+  if (credit_ <= 0) credit_ = weight_[cur_];  // other side idle: renew
+  std::function<void()> fn = std::move(queue_[cur_].front());
+  queue_[cur_].pop_front();
+  --credit_;
+  ++dispatched_[cur_];
+  fn();
+  engine_->schedule_after(dispatch_cost_, [this] { pump(); });
+}
+
+}  // namespace padico::net

@@ -1,0 +1,76 @@
+// Arbitration: the paper's SysIO/MadIO interleaving policy.
+//
+// PadicoTM funnels every network event of a node — SAN-side (Madeleine
+// polling, "mad") and IP-side (socket readiness, "sys") — through one
+// single-threaded I/O manager.  This class models that manager's poll
+// loop in virtual time: incoming events are queued per substrate and
+// dispatched by a weighted round-robin pump.  Each dispatch costs
+// `dispatch_cost` (one poll iteration); moving the pump from one
+// substrate to the other costs `switch_cost` on top (polling the other
+// API).  The weights say how many events one substrate may dispatch
+// before the pump considers switching — the dynamically tunable policy
+// knob of section 4.1 (`node.arbitration().set_policy(sys, mad)`).
+//
+// The pump is sticky: with only one substrate active it never pays the
+// switch cost, so an uncontended stream sees a constant per-message
+// overhead — the property the latency reproductions rely on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/engine.hpp"
+
+namespace padico::net {
+
+/// The two event sources the I/O manager multiplexes.
+enum class Substrate : std::uint8_t { sys = 0, mad = 1 };
+
+class Arbitration {
+ public:
+  explicit Arbitration(core::Engine& engine) : engine_(&engine) {}
+  Arbitration(const Arbitration&) = delete;
+  Arbitration& operator=(const Arbitration&) = delete;
+
+  /// Set the interleave weights (events per turn); clamped to >= 1.
+  /// May be called at any time, including mid-run.
+  void set_policy(int sys_weight, int mad_weight);
+
+  int sys_weight() const noexcept { return weight_[0]; }
+  int mad_weight() const noexcept { return weight_[1]; }
+
+  /// Tune the virtual cost of one poll iteration and of switching the
+  /// pump between substrates.
+  void set_costs(core::Duration dispatch_cost, core::Duration switch_cost) {
+    dispatch_cost_ = dispatch_cost;
+    switch_cost_ = switch_cost;
+  }
+  core::Duration dispatch_cost() const noexcept { return dispatch_cost_; }
+  core::Duration switch_cost() const noexcept { return switch_cost_; }
+
+  /// Queue one event for dispatch under the policy.
+  void enqueue(Substrate s, std::function<void()> fn);
+
+  std::uint64_t dispatched(Substrate s) const noexcept {
+    return dispatched_[static_cast<int>(s)];
+  }
+  std::size_t queued(Substrate s) const noexcept {
+    return queue_[static_cast<int>(s)].size();
+  }
+
+ private:
+  void pump();
+
+  core::Engine* engine_;
+  std::deque<std::function<void()>> queue_[2];
+  int weight_[2] = {1, 1};
+  core::Duration dispatch_cost_ = core::nanoseconds(40);
+  core::Duration switch_cost_ = core::nanoseconds(500);
+  int cur_ = static_cast<int>(Substrate::mad);  // SAN polled first
+  int credit_ = 1;
+  bool pumping_ = false;
+  std::uint64_t dispatched_[2] = {0, 0};
+};
+
+}  // namespace padico::net

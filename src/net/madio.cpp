@@ -1,0 +1,123 @@
+#include "net/madio.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace padico::net {
+
+namespace wire = vlink::wire;
+
+MadIO::MadIO(NetAccess& access, mad::Madeleine& madeleine,
+             bool header_combining)
+    : access_(&access), mad_(&madeleine), combining_(header_combining) {
+  channel_ = mad_->open_channel();
+  mad_->set_recv_handler(*channel_,
+                         [this](core::NodeId src, mad::UnpackHandle& h) {
+                           on_channel_message(src, h);
+                         });
+}
+
+void MadIO::open_logical(Tag tag) { handlers_.try_emplace(tag); }
+
+void MadIO::set_handler(Tag tag, Handler handler) {
+  handlers_[tag] = std::move(handler);
+}
+
+bool MadIO::reaches(core::NodeId node) const {
+  return mad_->driver().reaches(node);
+}
+
+core::Bytes MadIO::make_header(Tag tag, core::NodeId dst,
+                               wire::FrameType type) {
+  wire::Header h;
+  h.type = type;
+  h.src_port = tag;
+  h.dst_port = tag;
+  h.src_node = mad_->host().id();
+  h.conn_id = ++next_seq_[{tag, dst}];  // per (tag, destination) stream
+  return wire::encode(h);
+}
+
+mad::PackHandle MadIO::begin(Tag tag, core::NodeId dst) {
+  open_logical(tag);
+  mad::PackHandle handle = mad_->begin_packing(*channel_, dst);
+  handle.set_context(tag);  // end() routes by what begin() declared
+  if (combining_) {
+    // Piggyback the control header onto the first data fragment: one
+    // hardware message carries header + payload.
+    handle.pack(make_header(tag, dst, wire::FrameType::data));
+  }
+  return handle;
+}
+
+void MadIO::end(mad::PackHandle handle, Tag tag, core::NodeId dst) {
+  // Routing is fixed at begin(); the repeated (tag, dst) exists for
+  // call-site symmetry and must match, or the two combining modes
+  // would deliver to different handlers.
+  assert(handle.dst() == dst && "MadIO::end(): dst differs from begin()");
+  assert(handle.context() == tag && "MadIO::end(): tag differs from begin()");
+  (void)tag;
+  (void)dst;
+  if (!combining_) {
+    // Naive multiplexing: the control header is its own hardware
+    // message, the payload follows bare.  The SAN driver's per-dst
+    // FIFO keeps the pair ordered.
+    mad::PackHandle header = mad_->begin_packing(*channel_, handle.dst());
+    header.pack(make_header(static_cast<Tag>(handle.context()), handle.dst(),
+                            wire::FrameType::header));
+    mad_->end_packing(std::move(header));
+  }
+  mad_->end_packing(std::move(handle));
+}
+
+void MadIO::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
+  auto pit = pending_.find(src);
+  if (pit != pending_.end()) {
+    // Combining off: this whole message is the payload announced by the
+    // detached header that preceded it.
+    const Tag tag = pit->second.dst_port;
+    pending_.erase(pit);
+    dispatch(tag, src, std::move(handle));
+    return;
+  }
+  const std::optional<wire::Header> h =
+      wire::decode(handle.unpack(wire::kHeaderSize));
+  if (!h) {
+    ++dropped_;
+    return;
+  }
+  if (h->type != wire::FrameType::header &&
+      h->type != wire::FrameType::data) {
+    ++dropped_;
+    return;
+  }
+  // The sender stamps a contiguous per-(tag, destination) sequence into
+  // conn_id; on a reliable SAN it must arrive gap-free.
+  std::uint64_t& expected = recv_seq_[{h->dst_port, src}];
+  if (h->conn_id != ++expected) {
+    expected = h->conn_id;
+    ++seq_gaps_;
+  }
+  if (h->type == wire::FrameType::header) {
+    pending_[src] = *h;  // payload message follows on the same FIFO
+    return;
+  }
+  dispatch(h->dst_port, src, std::move(handle));
+}
+
+void MadIO::dispatch(Tag tag, core::NodeId src, mad::UnpackHandle handle) {
+  // Hand off to the node's I/O manager; the tag handler runs when the
+  // arbitration policy says so.  (shared_ptr because std::function
+  // requires a copyable closure; the handle itself is move-only.)
+  auto owned = std::make_shared<mad::UnpackHandle>(std::move(handle));
+  access_->post_mad([this, tag, src, owned = std::move(owned)] {
+    auto it = handlers_.find(tag);
+    if (it == handlers_.end() || !it->second) {
+      ++dropped_;
+      return;
+    }
+    it->second(src, *owned);
+  });
+}
+
+}  // namespace padico::net

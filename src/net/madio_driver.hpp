@@ -1,0 +1,37 @@
+// MadIODriver: the vlink access method ("madio") carried over the
+// NetAccess/MadIO arbitration stack.
+//
+// Connection management and stream framing are inherited from
+// FrameDriver; each frame travels as the payload of a MadIO message on
+// the reserved kVLinkTag.  The full SAN path of a data byte is thus
+//
+//   Link -> MadIODriver frame (24 B) -> MadIO header (24 B, combined or
+//   detached) -> Madeleine message (8 B) -> SanDriver frame (8 B) ->
+//   simulated Myrinet
+//
+// and incoming frames arrive already arbitrated (MadIO dispatches tag
+// handlers through the node's NetAccess).
+#pragma once
+
+#include "net/madio.hpp"
+#include "vlink/frame_driver.hpp"
+
+namespace padico::net {
+
+class MadIODriver final : public vlink::FrameDriver {
+ public:
+  MadIODriver(MadIO& io, std::string name);
+
+  bool reaches(core::NodeId node) const override;
+
+  MadIO& io() const noexcept { return *io_; }
+
+ protected:
+  void emit(core::NodeId dst, const vlink::wire::Header& h,
+            core::ByteView payload) override;
+
+ private:
+  MadIO* io_;
+};
+
+}  // namespace padico::net

@@ -1,0 +1,42 @@
+// NetAccess: the per-node access point of the padico::net layer.
+//
+// Every network event of a node funnels through its NetAccess — the
+// MadIO side posts SAN events, IP drivers post socket events — and the
+// embedded Arbitration decides when each one runs (see
+// arbitration.hpp).  Upper layers reach the policy knobs through
+// `node.arbitration()` on the Grid.
+#pragma once
+
+#include <functional>
+
+#include "core/host.hpp"
+#include "net/arbitration.hpp"
+
+namespace padico::net {
+
+class NetAccess {
+ public:
+  explicit NetAccess(core::Host& host)
+      : host_(&host), arbitration_(host.engine()) {}
+  NetAccess(const NetAccess&) = delete;
+  NetAccess& operator=(const NetAccess&) = delete;
+
+  core::Host& host() const noexcept { return *host_; }
+  Arbitration& arbitration() noexcept { return arbitration_; }
+
+  /// Post a SAN-side (MadIO) event for arbitrated dispatch.
+  void post_mad(std::function<void()> fn) {
+    arbitration_.enqueue(Substrate::mad, std::move(fn));
+  }
+
+  /// Post an IP-side (SysIO) event for arbitrated dispatch.
+  void post_sys(std::function<void()> fn) {
+    arbitration_.enqueue(Substrate::sys, std::move(fn));
+  }
+
+ private:
+  core::Host* host_;
+  Arbitration arbitration_;
+};
+
+}  // namespace padico::net

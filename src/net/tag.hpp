@@ -1,0 +1,12 @@
+// Logical-channel tags for NetAccess/MadIO multiplexing.
+#pragma once
+
+#include <cstdint>
+
+namespace padico::net {
+
+/// Identifies one logical stream multiplexed over a node pair's SAN
+/// access.  Middleware personalities each claim their own tag.
+using Tag = std::uint16_t;
+
+}  // namespace padico::net

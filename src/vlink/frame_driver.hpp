@@ -1,0 +1,62 @@
+// FrameDriver: the transport-agnostic half of a connection-oriented
+// vlink driver.
+//
+// Every driver of the stack frames its traffic the same way — a
+// wire::Header (connect / accept / refuse / data) followed by stream
+// payload — and keeps the same books: listeners by port, links by
+// connection id, in-flight connects by connection id.  FrameDriver owns
+// all of that; a concrete driver only supplies `emit()` (push one frame
+// towards a peer) and `reaches()`.  NetDriver emits straight onto a
+// simulated network; MadIODriver emits through the MadIO arbitration
+// stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/host.hpp"
+#include "vlink/driver.hpp"
+#include "vlink/link.hpp"
+#include "vlink/wire.hpp"
+
+namespace padico::vlink {
+
+class FrameDriver : public Driver {
+ public:
+  ~FrameDriver() override;
+
+  void listen(core::Port port, AcceptFn on_accept) override;
+  void unlisten(core::Port port) override;
+  void connect(const RemoteAddr& remote, ConnectFn on_connect) override;
+
+ protected:
+  FrameDriver(core::Host& host, std::string name);
+
+  core::Host& host() const noexcept { return *host_; }
+
+  /// Transport hook: deliver one encoded frame to `dst`.
+  virtual void emit(core::NodeId dst, const wire::Header& h,
+                    core::ByteView payload) = 0;
+
+  /// Entry point for the transport: parse and act on one received
+  /// frame.  Malformed frames are counted and dropped.
+  void handle_frame(core::NodeId src, core::ByteView frame);
+
+  std::uint64_t malformed_frames() const noexcept { return malformed_; }
+
+ private:
+  class FrameLink;
+  friend class FrameLink;
+
+  void forget(std::uint64_t conn_id);
+
+  core::Host* host_;
+  std::map<core::Port, AcceptFn> listeners_;
+  std::map<std::uint64_t, FrameLink*> links_;
+  std::map<std::uint64_t, ConnectFn> connecting_;
+  std::uint64_t next_conn_ = 1;
+  std::uint64_t malformed_ = 0;
+  core::Port next_ephemeral_ = 49152;
+};
+
+}  // namespace padico::vlink

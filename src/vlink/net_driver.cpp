@@ -1,172 +1,35 @@
 #include "vlink/net_driver.hpp"
 
-#include <cstring>
 #include <utility>
 
 namespace padico::vlink {
 
-namespace {
-
-template <typename T>
-void put(core::Bytes& buf, std::size_t off, T v) {
-  std::memcpy(buf.data() + off, &v, sizeof(T));
-}
-
-template <typename T>
-T get(const core::Bytes& buf, std::size_t off) {
-  T v;
-  std::memcpy(&v, buf.data() + off, sizeof(T));
-  return v;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// NetLink: concrete Link bound to one connection id on one NetDriver.
-// ---------------------------------------------------------------------------
-
-class NetDriver::NetLink final : public Link {
- public:
-  NetLink(NetDriver& drv, core::NodeId peer, core::Port local_port,
-          core::Port remote_port, std::uint64_t conn_id)
-      : Link(peer, local_port, remote_port), drv_(&drv), conn_id_(conn_id) {}
-
-  ~NetLink() override {
-    if (drv_) drv_->forget(conn_id_);
-  }
-
-  void receive(core::ByteView data) { deliver(data); }
-
-  /// Driver teardown: the link may outlive the driver in user hands;
-  /// once detached, writes are silently dropped (the wire is gone).
-  void detach() { drv_ = nullptr; }
-
- protected:
-  void send_bytes(core::ByteView data) override {
-    if (!drv_) return;
-    Header h{kData, local_port(), remote_port(), drv_->host_->id(), conn_id_};
-    drv_->send_frame(remote_node(), h, data);
-  }
-
- private:
-  NetDriver* drv_;
-  std::uint64_t conn_id_;
-};
-
-// ---------------------------------------------------------------------------
-// NetDriver
-// ---------------------------------------------------------------------------
-
 NetDriver::NetDriver(core::Host& host, simnet::Network& net, std::string name)
-    : Driver(std::move(name)), host_(&host), net_(&net) {
-  net_->set_receiver(host_->id(),
-                     [this](core::NodeId src, core::Bytes msg) {
-                       on_message(src, std::move(msg));
-                     });
+    : FrameDriver(host, std::move(name)), net_(&net) {
+  net_->set_receiver(host.id(), [this](core::NodeId src, core::Bytes msg) {
+    on_message(src, std::move(msg));
+  });
 }
 
-NetDriver::~NetDriver() {
-  net_->set_receiver(host_->id(), nullptr);
-  for (auto& [conn, link] : links_) link->detach();
-}
-
-void NetDriver::listen(core::Port port, AcceptFn on_accept) {
-  listeners_[port] = std::move(on_accept);
-}
-
-void NetDriver::unlisten(core::Port port) { listeners_.erase(port); }
+NetDriver::~NetDriver() { net_->set_receiver(host().id(), nullptr); }
 
 bool NetDriver::reaches(core::NodeId node) const {
-  return node != host_->id() && net_->attached(node);
+  return node != host().id() && net_->attached(node);
 }
 
-void NetDriver::connect(const RemoteAddr& remote, ConnectFn on_connect) {
-  if (!reaches(remote.node)) {
-    on_connect(core::Result<std::unique_ptr<Link>>::err(
-        core::Status::unreachable,
-        name() + ": node " + std::to_string(remote.node) +
-            " not on network " + net_->model().name));
-    return;
-  }
-  // Connection ids are globally unique: origin node in the high bits,
-  // per-driver counter below.
-  const std::uint64_t conn_id =
-      (static_cast<std::uint64_t>(host_->id()) << 40) | next_conn_++;
-  connecting_[conn_id] = std::move(on_connect);
-  Header h{kConnect, next_ephemeral_++, remote.port, host_->id(), conn_id};
-  send_frame(remote.node, h, {});
-}
-
-void NetDriver::send_frame(core::NodeId dst, const Header& h,
-                           core::ByteView payload) {
-  core::Bytes msg(kHeaderSize + payload.size(), 0);
-  put<std::uint8_t>(msg, 0, h.type);
-  put<std::uint16_t>(msg, 2, h.src_port);
-  put<std::uint16_t>(msg, 4, h.dst_port);
-  put<std::uint32_t>(msg, 8, h.src_node);
-  put<std::uint64_t>(msg, 16, h.conn_id);
-  if (!payload.empty()) {
-    std::memcpy(msg.data() + kHeaderSize, payload.data(), payload.size());
-  }
-  net_->send(host_->id(), dst, std::move(msg));
+void NetDriver::emit(core::NodeId dst, const wire::Header& h,
+                     core::ByteView payload) {
+  net_->send(host().id(), dst, wire::encode(h, payload));
 }
 
 void NetDriver::on_message(core::NodeId src, core::Bytes msg) {
-  if (msg.size() < kHeaderSize) return;  // malformed; drop
-  Header h;
-  h.type = static_cast<FrameType>(get<std::uint8_t>(msg, 0));
-  h.src_port = get<std::uint16_t>(msg, 2);
-  h.dst_port = get<std::uint16_t>(msg, 4);
-  h.src_node = get<std::uint32_t>(msg, 8);
-  h.conn_id = get<std::uint64_t>(msg, 16);
-
-  switch (h.type) {
-    case kConnect: {
-      auto lit = listeners_.find(h.dst_port);
-      if (lit == listeners_.end()) {
-        Header r{kRefuse, h.dst_port, h.src_port, host_->id(), h.conn_id};
-        send_frame(src, r, {});
-        return;
-      }
-      auto link = std::make_unique<NetLink>(*this, src, h.dst_port,
-                                            h.src_port, h.conn_id);
-      links_[h.conn_id] = link.get();
-      Header a{kAccept, h.dst_port, h.src_port, host_->id(), h.conn_id};
-      send_frame(src, a, {});
-      lit->second(std::move(link));
-      return;
-    }
-    case kAccept: {
-      auto cit = connecting_.find(h.conn_id);
-      if (cit == connecting_.end()) return;
-      ConnectFn cb = std::move(cit->second);
-      connecting_.erase(cit);
-      std::unique_ptr<Link> link = std::make_unique<NetLink>(
-          *this, src, h.dst_port, h.src_port, h.conn_id);
-      links_[h.conn_id] = static_cast<NetLink*>(link.get());
-      cb(std::move(link));
-      return;
-    }
-    case kRefuse: {
-      auto cit = connecting_.find(h.conn_id);
-      if (cit == connecting_.end()) return;
-      ConnectFn cb = std::move(cit->second);
-      connecting_.erase(cit);
-      cb(core::Result<std::unique_ptr<Link>>::err(
-          core::Status::refused,
-          name() + ": connection refused by node " + std::to_string(src)));
-      return;
-    }
-    case kData: {
-      auto it = links_.find(h.conn_id);
-      if (it == links_.end()) return;  // stale connection; drop
-      it->second->receive(
-          core::view_of(msg.data() + kHeaderSize, msg.size() - kHeaderSize));
-      return;
-    }
+  if (!dispatch_) {
+    handle_frame(src, core::view_of(msg));
+    return;
   }
+  dispatch_([this, src, m = std::move(msg)] {
+    handle_frame(src, core::view_of(m));
+  });
 }
-
-void NetDriver::forget(std::uint64_t conn_id) { links_.erase(conn_id); }
 
 }  // namespace padico::vlink

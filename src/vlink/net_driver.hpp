@@ -1,70 +1,51 @@
 // NetDriver: the baseline driver that carries vlink connections
 // directly over one simulated network.
 //
-// Wire format (one simnet message per segment, little-endian):
-//   [u8 type][u8 reserved][u16 src_port][u16 dst_port][u16 reserved]
-//   [u32 src_node][u32 reserved][u64 conn_id]  = 24 header bytes,
-// followed by the payload for kData.  The header bytes ride inside the
-// simnet payload, so multiplexing overhead shows up in the timing for
-// free — exactly the effect the MadIO header-combining experiments
-// measure later in the stack.
+// Framing is the shared 24-byte wire header (see vlink/wire.hpp)
+// followed by the payload, one simnet message per frame.  The header
+// bytes ride inside the simnet payload, so multiplexing overhead shows
+// up in the timing for free — exactly the effect the MadIO
+// header-combining experiments measure higher in the stack.
+//
+// An optional dispatch hook defers frame handling to an external
+// scheduler: the Grid installs the node's NetAccess arbitration here so
+// that IP-side ("sysio") traffic contends with SAN-side traffic under
+// the paper's SysIO/MadIO interleaving policy.
 #pragma once
 
-#include <cstdint>
-#include <map>
+#include <functional>
 
-#include "core/host.hpp"
 #include "simnet/network.hpp"
-#include "vlink/driver.hpp"
-#include "vlink/link.hpp"
+#include "vlink/frame_driver.hpp"
 
 namespace padico::vlink {
 
-class NetDriver final : public Driver {
+class NetDriver final : public FrameDriver {
  public:
-  static constexpr std::size_t kHeaderSize = 24;
+  static constexpr std::size_t kHeaderSize = wire::kHeaderSize;
 
   /// Registers itself as `net`'s receiver for `host.id()`.
   NetDriver(core::Host& host, simnet::Network& net, std::string name);
   ~NetDriver() override;
 
-  void listen(core::Port port, AcceptFn on_accept) override;
-  void unlisten(core::Port port) override;
-  void connect(const RemoteAddr& remote, ConnectFn on_connect) override;
+  /// Route each received frame through `fn` instead of handling it
+  /// inline.  `fn` must eventually invoke the thunk it is given.
+  using DispatchFn = std::function<void(std::function<void()>)>;
+  void set_dispatch(DispatchFn fn) { dispatch_ = std::move(fn); }
+
   bool reaches(core::NodeId node) const override;
 
   simnet::Network& network() const noexcept { return *net_; }
 
+ protected:
+  void emit(core::NodeId dst, const wire::Header& h,
+            core::ByteView payload) override;
+
  private:
-  class NetLink;
-  friend class NetLink;
-
-  enum FrameType : std::uint8_t {
-    kConnect = 1,
-    kAccept = 2,
-    kRefuse = 3,
-    kData = 4,
-  };
-
-  struct Header {
-    FrameType type;
-    core::Port src_port;
-    core::Port dst_port;
-    core::NodeId src_node;
-    std::uint64_t conn_id;
-  };
-
-  void send_frame(core::NodeId dst, const Header& h, core::ByteView payload);
   void on_message(core::NodeId src, core::Bytes msg);
-  void forget(std::uint64_t conn_id);
 
-  core::Host* host_;
   simnet::Network* net_;
-  std::map<core::Port, AcceptFn> listeners_;
-  std::map<std::uint64_t, NetLink*> links_;
-  std::map<std::uint64_t, ConnectFn> connecting_;
-  std::uint64_t next_conn_ = 1;
-  core::Port next_ephemeral_ = 49152;
+  DispatchFn dispatch_;
 };
 
 }  // namespace padico::vlink

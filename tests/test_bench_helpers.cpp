@@ -1,0 +1,74 @@
+// Coverage for the bench/common.hpp base helpers beyond the SAN smoke
+// path: unit conversions, message_count clamp edges, and the link
+// helpers on the ethernet100 profile.
+#include "common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pc = padico::core;
+
+TEST(BenchHelpers, MbpsUnits) {
+  EXPECT_EQ(bench::mbps(0, 0), 0.0);
+  EXPECT_EQ(bench::mbps(123456, 0), 0.0);  // zero-duration guard
+  EXPECT_DOUBLE_EQ(bench::mbps(1'000'000, pc::seconds(1)), 1.0);
+  EXPECT_DOUBLE_EQ(bench::mbps(250'000'000, pc::seconds(1)), 250.0);
+  EXPECT_DOUBLE_EQ(bench::mbps(1'000'000, pc::milliseconds(500)), 2.0);
+}
+
+TEST(BenchHelpers, MessageCountClampEdges) {
+  // size 0 avoids the division by zero and caps like a 1-byte message.
+  EXPECT_EQ(bench::message_count(0), 2000);
+  EXPECT_EQ(bench::message_count(1), 2000);
+  // Mid-range: exactly target / size messages.
+  EXPECT_EQ(bench::message_count(16 * 1024), 1024);
+  EXPECT_EQ(bench::message_count(1 << 20), 16);
+  // Huge messages floor at 8 so the figure still averages a few sends.
+  EXPECT_EQ(bench::message_count(16u << 20), 8);
+  EXPECT_EQ(bench::message_count(64u << 20), 8);
+}
+
+TEST(BenchHelpers, LinkPairConnectsOnEthernet100) {
+  bench::gr::Grid grid;
+  bench::attach_testbed(grid);
+  grid.build();
+  bench::LinkPair p = bench::make_link_pair(grid, "sysio", 3600);
+  ASSERT_TRUE(p.a && p.b);
+  EXPECT_EQ(p.a->remote_node(), 1u);
+  EXPECT_EQ(p.b->remote_node(), 0u);
+  EXPECT_EQ(p.b->local_port(), 3600);
+}
+
+TEST(BenchHelpers, LinkLatencyOnEthernet100IsInRange) {
+  bench::gr::Grid grid;
+  bench::attach_testbed(grid);
+  grid.build();
+  bench::LinkPair p = bench::make_link_pair(grid, "sysio", 3610);
+  const double lat = bench::link_latency_us(grid, p);
+  // Ethernet-100 profile: 50 us wire latency + ~5 us tx for the framed
+  // 1-byte ping + arbitration dispatch.
+  EXPECT_GT(lat, 50.0);
+  EXPECT_LT(lat, 62.0);
+}
+
+TEST(BenchHelpers, LinkBandwidthStampsInsideTheSenderTask) {
+  // The t0 convention fix: with a quiet grid the measured window equals
+  // the transfer time, so the TCP reference lands on its plateau.
+  bench::gr::Grid grid;
+  bench::attach_testbed(grid);
+  grid.build();
+  bench::LinkPair p = bench::make_link_pair(grid, "sysio", 3620);
+  const double bw = bench::link_bandwidth_mbps(grid, p, 256 * 1024, 8);
+  EXPECT_GT(bw, 10.0);
+  EXPECT_LT(bw, 12.5);
+}
+
+TEST(BenchHelpers, BandwidthIsDeterministicAcrossGrids) {
+  auto once = [] {
+    bench::gr::Grid grid;
+    bench::attach_testbed(grid);
+    grid.build();
+    bench::LinkPair p = bench::make_link_pair(grid, "sysio", 3630);
+    return bench::link_bandwidth_mbps(grid, p, 64 * 1024, 8);
+  };
+  EXPECT_EQ(once(), once());
+}

@@ -1,0 +1,154 @@
+// Property / fuzz tests for the 24-byte vlink wire-header codec
+// (ROADMAP item 6, pulled forward): round-trips for Rng-generated
+// headers, and truncated / garbage frames must fail cleanly — a
+// nullopt, never a crash or an out-of-bounds read.
+#include "vlink/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "core/core.hpp"
+#include "simnet/simnet.hpp"
+#include "vlink/net_driver.hpp"
+#include "vlink/vlink.hpp"
+
+namespace pc = padico::core;
+namespace sn = padico::simnet;
+namespace vl = padico::vlink;
+namespace wire = padico::vlink::wire;
+
+namespace {
+
+wire::Header random_header(pc::Rng& rng) {
+  wire::Header h;
+  h.type = static_cast<wire::FrameType>(rng.uniform_int(1, 5));
+  h.src_port = static_cast<pc::Port>(rng.uniform_int(0, 0xFFFF));
+  h.dst_port = static_cast<pc::Port>(rng.uniform_int(0, 0xFFFF));
+  h.src_node = static_cast<pc::NodeId>(rng.uniform_int(0, 0xFFFFFFFF));
+  h.conn_id = rng.next_u64();
+  return h;
+}
+
+}  // namespace
+
+TEST(WireFuzz, EncodedLayoutMatchesSpec) {
+  wire::Header h;
+  h.type = wire::FrameType::connect;
+  h.src_port = 0x1234;
+  h.dst_port = 0xABCD;
+  h.src_node = 7;
+  h.conn_id = 0x1122334455667788ull;
+  pc::Bytes frame = wire::encode(h, pc::view_of("hi"));
+  ASSERT_EQ(frame.size(), wire::kHeaderSize + 2);
+  EXPECT_EQ(frame[0], 1);  // connect
+  pc::Port src = 0;
+  std::memcpy(&src, frame.data() + 2, sizeof(src));
+  EXPECT_EQ(src, 0x1234);
+  // Reserved bytes are zeroed.
+  EXPECT_EQ(frame[1], 0);
+  EXPECT_EQ(frame[6], 0);
+  EXPECT_EQ(frame[12], 0);
+  EXPECT_EQ(frame[wire::kHeaderSize], 'h');
+}
+
+TEST(WireFuzz, RoundTripRandomHeaders) {
+  pc::Rng rng(0x5eed0001);
+  for (int i = 0; i < 1000; ++i) {
+    const wire::Header h = random_header(rng);
+    // Alternate between bare headers and headers with payload.
+    pc::Bytes payload(rng.uniform_int(0, 32), 0x5A);
+    const pc::Bytes frame = wire::encode(h, pc::view_of(payload));
+    ASSERT_EQ(frame.size(), wire::kHeaderSize + payload.size());
+    const std::optional<wire::Header> back = wire::decode(pc::view_of(frame));
+    ASSERT_TRUE(back.has_value()) << "iteration " << i;
+    EXPECT_EQ(*back, h) << "iteration " << i;
+  }
+}
+
+TEST(WireFuzz, TruncatedFramesAreRejected) {
+  pc::Rng rng(0x5eed0002);
+  const pc::Bytes frame = wire::encode(random_header(rng));
+  for (std::size_t n = 0; n < wire::kHeaderSize; ++n) {
+    EXPECT_FALSE(wire::decode(pc::ByteView(frame.data(), n)).has_value())
+        << "length " << n;
+  }
+  EXPECT_FALSE(wire::decode({}).has_value());
+}
+
+TEST(WireFuzz, GarbageBytesDecodeCleanlyOrNotAtAll) {
+  pc::Rng rng(0x5eed0003);
+  int decoded = 0;
+  for (int i = 0; i < 2000; ++i) {
+    pc::Bytes junk(rng.uniform_int(0, 64), 0);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const std::optional<wire::Header> h = wire::decode(pc::view_of(junk));
+    if (junk.size() < wire::kHeaderSize) {
+      EXPECT_FALSE(h.has_value());
+      continue;
+    }
+    // A long-enough frame parses iff its type byte is a known type;
+    // the parsed fields must then match the raw bytes exactly.
+    if (junk[0] >= 1 && junk[0] <= 5) {
+      ASSERT_TRUE(h.has_value());
+      ++decoded;
+      EXPECT_EQ(static_cast<std::uint8_t>(h->type), junk[0]);
+      pc::Bytes re(wire::kHeaderSize, 0);
+      wire::encode_into(*h, re.data());
+      EXPECT_EQ(re[0], junk[0]);
+      EXPECT_EQ(re[2], junk[2]);  // src_port low byte survives
+      EXPECT_EQ(re[16], junk[16]);  // conn_id low byte survives
+    } else {
+      EXPECT_FALSE(h.has_value());
+    }
+  }
+  EXPECT_GT(decoded, 0) << "fuzz corpus never hit a valid type byte";
+}
+
+TEST(WireFuzz, NetDriverSurvivesGarbageFrames) {
+  // Inject raw garbage straight onto the wire under a live driver: the
+  // driver must drop every malformed frame and keep serving real
+  // connections afterwards.
+  pc::Engine engine;
+  sn::Fabric fabric{engine};
+  sn::NetId net = fabric.add_network(sn::profiles::myrinet2000());
+  fabric.attach(net, 0);
+  fabric.attach(net, 1);
+  pc::Host h0(engine, 0), h1(engine, 1);
+  vl::VLink v0(h0), v1(h1);
+  v0.add_driver(
+      std::make_unique<vl::NetDriver>(h0, fabric.network(net), "madio"));
+  v1.add_driver(
+      std::make_unique<vl::NetDriver>(h1, fabric.network(net), "madio"));
+
+  pc::Rng rng(0x5eed0004);
+  for (int i = 0; i < 200; ++i) {
+    pc::Bytes junk(rng.uniform_int(0, 40), 0);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    fabric.network(net).send(0, 1, std::move(junk));
+  }
+  engine.run_until_idle();
+
+  std::unique_ptr<vl::Link> a, b;
+  v1.driver("madio")->listen(
+      8000, [&](std::unique_ptr<vl::Link> l) { b = std::move(l); });
+  v0.connect("madio", {1, 8000}, [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    a = std::move(*r);
+  });
+  engine.run_while_pending([&] { return a && b; });
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+
+  bool done = false;
+  auto prog = [&]() -> pc::Task {
+    a->post_write(pc::view_of("still alive"));
+    pc::Bytes got = co_await b->read_n(11);
+    EXPECT_EQ(got, pc::view_of("still alive").to_bytes());
+    done = true;
+  };
+  auto t = prog();
+  engine.run_while_pending([&] { return done; });
+  EXPECT_TRUE(done);
+}
