@@ -381,20 +381,29 @@ inline double circuit_latency_us(gr::Grid& grid, gr::CircuitSet& set,
   });
   set.at(0).send(1, pc::view_of("i"));
   grid.engine().run_while_pending([&] { return pongs >= rounds; });
+  // The handlers capture this frame's locals; don't leave them armed
+  // on the caller's long-lived set.
+  set.at(0).set_recv_handler({});
+  set.at(1).set_recv_handler({});
   return pc::to_micros(t1 - t0) / (2.0 * rounds);
 }
 
 inline double circuit_bandwidth_mbps(gr::Grid& grid, gr::CircuitSet& set,
                                      std::size_t size) {
   const int count = message_count(size);
-  pc::SimTime t0 = grid.engine().now(), t1 = 0;
+  pc::SimTime t0 = 0, t1 = 0;
   int received = 0;
   set.at(1).set_recv_handler([&](int, padico::mad::UnpackHandle&) {
     if (++received == count) t1 = grid.engine().now();
   });
   pc::Bytes payload(size, 0x22);
+  // Stamp t0 at the sender, right before the first send — the
+  // convention link_bandwidth_mbps established, so figures stay
+  // comparable across drivers.
+  t0 = grid.engine().now();
   for (int i = 0; i < count; ++i) set.at(0).send(1, pc::view_of(payload));
   grid.engine().run_while_pending([&] { return received >= count; });
+  set.at(1).set_recv_handler({});  // captured this frame's locals
   return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
 }
 

@@ -76,6 +76,15 @@ class IoVec {
     segments_.push_back(std::move(s));
   }
 
+  /// Adopt `b` as the new FIRST segment — for layers that finalise a
+  /// header at flush time, after the payload has been gathered.
+  void prepend(Bytes b) {
+    Segment s{ByteView{}, std::move(b), true};
+    s.view = ByteView(s.owned.data(), s.owned.size());
+    byte_size_ += s.owned.size();
+    segments_.insert(segments_.begin(), std::move(s));
+  }
+
   std::size_t segments() const noexcept { return segments_.size(); }
   std::size_t byte_size() const noexcept { return byte_size_; }
   bool empty() const noexcept { return byte_size_ == 0; }

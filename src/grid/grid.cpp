@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "drivers/san_driver.hpp"
+#include "madeleine/circuit.hpp"
 #include "madeleine/madeleine.hpp"
 #include "net/madio.hpp"
 #include "net/madio_driver.hpp"
@@ -113,6 +114,83 @@ void Grid::build(const BuildOptions& options) {
 Node& Grid::node(std::size_t i) {
   if (!built_) throw std::logic_error("Grid::node() before build()");
   return *nodes_.at(i);
+}
+
+CircuitSet Grid::make_circuit(const std::string& name,
+                              const circuit::Group& group, net::Tag tag,
+                              core::Port port) {
+  if (!built_) throw std::logic_error("Grid::make_circuit() before build()");
+  if (group.size() == 0) {
+    throw std::invalid_argument("Grid::make_circuit(): empty group");
+  }
+  // Validate the whole group before opening any channel, so a failed
+  // call never leaves half-wired endpoints behind: every member needs
+  // a SAN attachment, and every pair must share a SAN (establishment
+  // and data both assume full reachability inside the group).
+  for (std::size_t r = 0; r < group.size(); ++r) {
+    const core::NodeId node_id = group.node(static_cast<int>(r));
+    if (node_id >= node_count_) {
+      throw std::out_of_range("Grid::make_circuit(): node " +
+                              std::to_string(node_id) + " not in grid");
+    }
+    net::MadIO* io = nodes_[node_id]->madio();
+    if (io == nullptr) {
+      throw std::invalid_argument("Grid::make_circuit(): node " +
+                                  std::to_string(node_id) +
+                                  " has no SAN attachment");
+    }
+    for (std::size_t o = 0; o < r; ++o) {
+      if (!io->reaches(group.node(static_cast<int>(o)))) {
+        throw std::invalid_argument(
+            "Grid::make_circuit(): nodes " + std::to_string(node_id) +
+            " and " + std::to_string(group.node(static_cast<int>(o))) +
+            " share no SAN");
+      }
+    }
+  }
+  // Channel allocation: the lowest id free on EVERY member (channel 0
+  // is MadIO's) — deterministic, consistent across overlapping groups,
+  // and recycled once a circuit's endpoints are destroyed.
+  int channel = -1;
+  for (int id = 1; id <= 255 && channel < 0; ++id) {
+    channel = id;
+    for (std::size_t r = 0; r < group.size(); ++r) {
+      if (nodes_[group.node(static_cast<int>(r))]->madio()->madeleine()
+              .channel_open(static_cast<std::uint8_t>(id))) {
+        channel = -1;
+        break;
+      }
+    }
+  }
+  if (channel < 0) {
+    throw std::length_error("Grid::make_circuit(): channel ids exhausted");
+  }
+  const auto channel_id = static_cast<std::uint8_t>(channel);
+
+  CircuitSet set(name, group);
+  for (std::size_t r = 0; r < group.size(); ++r) {
+    Node& member = *nodes_[group.node(static_cast<int>(r))];
+    set.add(std::make_unique<circuit::Circuit>(
+        name, group, static_cast<int>(r), tag, port, member.access(),
+        member.madio()->madeleine(), channel_id));
+  }
+
+  // Drive the establishment handshake to completion (root collects one
+  // connect per member, answers accept).  Deterministic: nothing else
+  // is normally in flight while a circuit is being wired.
+  engine_.run_while_pending([&] { return set.established(); });
+  if (!set.established()) {
+    for (std::size_t r = 0; r < set.size(); ++r) {
+      if (set.at(static_cast<int>(r)).refused()) {
+        throw std::runtime_error(
+            "Grid::make_circuit(): root refused rank " + std::to_string(r) +
+            " of '" + name + "' (tag/port/channel mismatch)");
+      }
+    }
+    throw std::runtime_error("Grid::make_circuit(): establishment of '" +
+                             name + "' did not complete");
+  }
+  return set;
 }
 
 }  // namespace padico::grid

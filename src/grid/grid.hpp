@@ -27,6 +27,7 @@
 
 #include "core/engine.hpp"
 #include "core/host.hpp"
+#include "net/tag.hpp"
 #include "simnet/network.hpp"
 #include "vlink/vlink.hpp"
 
@@ -36,7 +37,13 @@ class MadIO;
 class NetAccess;
 }  // namespace padico::net
 
+namespace padico::circuit {
+class Group;
+}  // namespace padico::circuit
+
 namespace padico::grid {
+
+class CircuitSet;  // madeleine/circuit.hpp
 
 /// Build-time knobs.  Fields beyond the base runtime are consumed by
 /// the layers that implement them (selector, MadIO, VRP); the base
@@ -113,6 +120,16 @@ class Grid {
 
   std::size_t size() const noexcept { return node_count_; }
   Node& node(std::size_t i);
+
+  /// Build a circuit over `group`: one endpoint per member, each on a
+  /// grid-allocated Madeleine channel of the node's first SAN
+  /// attachment, establishment handshaked through the group root (see
+  /// madeleine/circuit.hpp).  Runs the engine until the set is
+  /// established, so call it only between measurements.  Only valid
+  /// after build(); throws if a member lacks a SAN attachment.
+  CircuitSet make_circuit(const std::string& name,
+                          const circuit::Group& group, net::Tag tag,
+                          core::Port port);
 
  private:
   struct SanStack;  // SanDriver + Madeleine + MadIO, defined in grid.cpp

@@ -1,6 +1,8 @@
 #include "madeleine/madeleine.hpp"
 
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace padico::mad {
 
@@ -11,10 +13,34 @@ Madeleine::Madeleine(core::Host& host, drv::SanDriver& driver)
   });
 }
 
+Channel* Madeleine::establish(std::uint8_t id) {
+  auto [it, inserted] =
+      channels_.try_emplace(id, std::make_unique<Channel>(Channel{id}));
+  if (!inserted) {
+    throw std::invalid_argument("Madeleine: channel " + std::to_string(id) +
+                                " already open");
+  }
+  return it->second.get();
+}
+
 Channel* Madeleine::open_channel() {
-  channels_.push_back(std::make_unique<Channel>(
-      Channel{static_cast<std::uint8_t>(channels_.size())}));
-  return channels_.back().get();
+  if (channels_.size() > 255) {
+    throw std::length_error("Madeleine: channel ids exhausted");
+  }
+  // Lowest free id; channels_ is ordered, so the scan is deterministic.
+  std::uint8_t id = 0;
+  for (const auto& [open_id, _] : channels_) {
+    if (open_id != id) break;
+    ++id;
+  }
+  return establish(id);
+}
+
+Channel* Madeleine::open_channel_at(std::uint8_t id) { return establish(id); }
+
+void Madeleine::close_channel(Channel& channel) {
+  handlers_.erase(channel.id);
+  channels_.erase(channel.id);
 }
 
 void Madeleine::set_recv_handler(Channel& channel, RecvHandler handler) {

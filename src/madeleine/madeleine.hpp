@@ -13,6 +13,19 @@
 // Wire format per message (host byte order):
 //   [u8 magic 0x4D][u8 channel][u16 segment count][u32 payload bytes]
 // followed by the concatenated segments (8 header bytes total).
+//
+// Channel establishment is one shared path: `open_channel()` takes the
+// lowest free id (MadIO's bootstrap channel 0), `open_channel_at(id)`
+// pins an explicit id (the circuit layer's grid-allocated channels);
+// both funnel through the same registration so ids can never collide.
+//
+// Units / ownership / determinism: all timing below this API is
+// virtual nanoseconds charged by the SAN driver and simnet (this layer
+// adds no time of its own).  Channels are owned by their Madeleine and
+// live until it dies; PackHandle borrows caller storage for
+// later/cheaper segments until end_packing; UnpackHandle owns its
+// buffer.  All routing state lives in ordered maps and handlers run
+// inline from driver delivery, so traces are bit-identical across runs.
 #pragma once
 
 #include <cstdint>
@@ -65,9 +78,15 @@ class PackHandle {
   /// Append an owned segment (internal headers).
   void pack(core::Bytes&& owned) { iov_.append(std::move(owned)); }
 
+  /// Prepend an owned segment — for layers whose control header is
+  /// only final at flush time (the circuit layer stamps its sequence
+  /// number in end(), so an abandoned handle never consumes one).
+  void prepend(core::Bytes&& owned) { iov_.prepend(std::move(owned)); }
+
   std::size_t byte_size() const noexcept { return iov_.byte_size(); }
   std::size_t segments() const noexcept { return iov_.segments(); }
   core::NodeId dst() const noexcept { return dst_; }
+  std::uint8_t channel() const noexcept { return channel_; }
 
   /// Small scratch word for the layer above (MadIO records the logical
   /// tag here at begin() so end() cannot diverge from it).
@@ -91,8 +110,23 @@ class UnpackHandle {
  public:
   UnpackHandle(core::Bytes msg, std::size_t offset)
       : buf_(std::move(msg)), cur_(offset) {}
-  UnpackHandle(UnpackHandle&&) = default;
-  UnpackHandle& operator=(UnpackHandle&&) = default;
+  // Moving steals the buffer and leaves the source fully consumed
+  // (remaining() == 0) — receive handlers may take the handle by move
+  // for deferred dispatch, and the caller's handle stays coherent.
+  UnpackHandle(UnpackHandle&& other) noexcept
+      : buf_(std::move(other.buf_)), cur_(other.cur_) {
+    other.buf_.clear();
+    other.cur_ = 0;
+  }
+  UnpackHandle& operator=(UnpackHandle&& other) noexcept {
+    if (this != &other) {
+      buf_ = std::move(other.buf_);
+      cur_ = other.cur_;
+      other.buf_.clear();
+      other.cur_ = 0;
+    }
+    return *this;
+  }
 
   std::size_t remaining() const noexcept { return buf_.size() - cur_; }
 
@@ -116,6 +150,9 @@ class UnpackHandle {
 
 class Madeleine {
  public:
+  /// Receive callback.  The handler may consume the handle in place or
+  /// steal it by move for deferred dispatch (MadIO and the circuit
+  /// layer do); the caller's handle then reads as fully consumed.
   using RecvHandler = std::function<void(core::NodeId src, UnpackHandle&)>;
 
   static constexpr std::size_t kHeaderSize = 8;
@@ -128,10 +165,28 @@ class Madeleine {
   core::Host& host() const noexcept { return *host_; }
   drv::SanDriver& driver() const noexcept { return *drv_; }
 
-  /// Open the next channel (collective: both sides open in the same
-  /// order).  The returned Channel stays owned by this Madeleine.
+  /// Open the lowest free channel id (collective: both sides open in
+  /// the same order).  The returned Channel stays owned by this
+  /// Madeleine.
   Channel* open_channel();
 
+  /// Open a channel at an explicit id — the circuit layer allocates
+  /// grid-global ids so overlapping groups stay consistent across
+  /// nodes.  Throws std::invalid_argument if `id` is already open.
+  Channel* open_channel_at(std::uint8_t id);
+
+  /// True if channel `id` is open (used by callers that must validate
+  /// an explicit id before committing to open_channel_at).
+  bool channel_open(std::uint8_t id) const {
+    return channels_.find(id) != channels_.end();
+  }
+
+  /// Close `channel`: its id becomes reusable and later messages for
+  /// it count as malformed.  The Channel pointer is dead afterwards.
+  void close_channel(Channel& channel);
+
+  /// Install (or, with an empty handler, clear) the receive handler of
+  /// `channel`.  Messages for a handler-less channel count as malformed.
   void set_recv_handler(Channel& channel, RecvHandler handler);
 
   PackHandle begin_packing(Channel& channel, core::NodeId dst);
@@ -143,11 +198,12 @@ class Madeleine {
   std::uint64_t malformed() const noexcept { return malformed_; }
 
  private:
+  Channel* establish(std::uint8_t id);
   void on_driver_message(core::NodeId src, core::Bytes msg);
 
   core::Host* host_;
   drv::SanDriver* drv_;
-  std::vector<std::unique_ptr<Channel>> channels_;
+  std::map<std::uint8_t, std::unique_ptr<Channel>> channels_;
   std::map<std::uint8_t, RecvHandler> handlers_;
   std::uint64_t received_ = 0;
   std::uint64_t malformed_ = 0;

@@ -14,6 +14,12 @@
 // The pump is sticky: with only one substrate active it never pays the
 // switch cost, so an uncontended stream sees a constant per-message
 // overhead — the property the latency reproductions rely on.
+//
+// Units / ownership / determinism: `dispatch_cost` / `switch_cost` are
+// virtual nanoseconds.  An Arbitration borrows its Engine and is owned
+// by the node's NetAccess; queued closures are owned until dispatched.
+// Queues are plain FIFOs and the pump's state machine is driven only
+// by engine events, so dispatch order is bit-identical across runs.
 #pragma once
 
 #include <cstdint>

@@ -29,13 +29,10 @@ bool MadIO::reaches(core::NodeId node) const {
 
 core::Bytes MadIO::make_header(Tag tag, core::NodeId dst,
                                wire::FrameType type) {
-  wire::Header h;
-  h.type = type;
-  h.src_port = tag;
-  h.dst_port = tag;
-  h.src_node = mad_->host().id();
-  h.conn_id = ++next_seq_[{tag, dst}];  // per (tag, destination) stream
-  return wire::encode(h);
+  // Per-(tag, destination) stream sequence; shared header shape with
+  // the circuit layer (net/tag.hpp).
+  return wire::encode(
+      tagged_header(tag, mad_->host().id(), ++next_seq_[{tag, dst}], type));
 }
 
 mad::PackHandle MadIO::begin(Tag tag, core::NodeId dst) {

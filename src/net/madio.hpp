@@ -16,6 +16,14 @@
 // Received messages are not dispatched inline: MadIO hands them to the
 // node's NetAccess, whose Arbitration decides when the tag handler
 // runs relative to IP-side traffic.
+//
+// Units / ownership / determinism: this layer adds no virtual time of
+// its own — its cost is the header bytes it puts on the wire plus the
+// NetAccess dispatch below.  A MadIO borrows its NetAccess and
+// Madeleine (the Grid's SAN stack owns all three, bottom-up) and owns
+// its bootstrap channel (always Madeleine channel 0).  Handlers and
+// per-(tag, node) sequence books live in ordered maps, so tag dispatch
+// order is bit-identical across runs.
 #pragma once
 
 #include <cstdint>

@@ -11,6 +11,12 @@
 //
 // and incoming frames arrive already arbitrated (MadIO dispatches tag
 // handlers through the node's NetAccess).
+//
+// Units / ownership / determinism: adds no virtual time beyond the
+// layers it stacks on.  Borrows its MadIO (owned by the Grid's SAN
+// stack) and claims the reserved kVLinkTag on it; the VLink owns the
+// driver itself.  Inherits FrameDriver's ordered connection books, so
+// link establishment order is bit-identical across runs.
 #pragma once
 
 #include "net/madio.hpp"

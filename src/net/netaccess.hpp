@@ -1,10 +1,17 @@
 // NetAccess: the per-node access point of the padico::net layer.
 //
 // Every network event of a node funnels through its NetAccess — the
-// MadIO side posts SAN events, IP drivers post socket events — and the
-// embedded Arbitration decides when each one runs (see
-// arbitration.hpp).  Upper layers reach the policy knobs through
-// `node.arbitration()` on the Grid.
+// MadIO side and the circuit layer post SAN events, IP drivers post
+// socket events — and the embedded Arbitration decides when each one
+// runs (see arbitration.hpp).  Upper layers reach the policy knobs
+// through `node.arbitration()` on the Grid.
+//
+// Units / ownership / determinism: dispatch costs are virtual
+// nanoseconds charged by the Arbitration.  A NetAccess borrows its
+// Host (the Grid owns both, one NetAccess per node) and owns its
+// Arbitration.  Posted closures run in FIFO order per substrate under
+// the weighted pump — never inline and never reordered — so dispatch
+// traces are bit-identical across runs.
 #pragma once
 
 #include <functional>

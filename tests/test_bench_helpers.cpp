@@ -72,3 +72,50 @@ TEST(BenchHelpers, BandwidthIsDeterministicAcrossGrids) {
   };
   EXPECT_EQ(once(), once());
 }
+
+TEST(BenchHelpers, CircuitLatencyUndercutsVLinkOnMyrinet) {
+  // The Table 1 ordering the circuit layer exists for: a circuit pays
+  // one control header straight on its Madeleine channel, the VLink
+  // path over the same SAN stacks MadIO + MadIODriver on top.
+  bench::gr::Grid grid;
+  bench::attach_testbed(grid);
+  grid.build();
+  auto set =
+      grid.make_circuit("bh", padico::circuit::Group({0, 1}), 0x60, 3640);
+  const double circuit = bench::circuit_latency_us(grid, set);
+  bench::LinkPair p = bench::make_link_pair(grid, "madio", 3641);
+  const double vlink = bench::link_latency_us(grid, p);
+  EXPECT_LT(circuit, vlink);
+  // Paper ballpark: 8.4 us one-way over Myrinet-2000.
+  EXPECT_GT(circuit, 7.0);
+  EXPECT_LT(circuit, 9.0);
+}
+
+TEST(BenchHelpers, CircuitBandwidthStampsBeforeFirstSend) {
+  // t0 convention: the window opens at the sender's first send, so on a
+  // quiet grid the figure sits on the Myrinet plateau (~226 MB/s with
+  // per-frame overheads) even though make_circuit already advanced the
+  // virtual clock during establishment.
+  bench::gr::Grid grid;
+  bench::attach_testbed(grid);
+  grid.build();
+  auto set =
+      grid.make_circuit("bw", padico::circuit::Group({0, 1}), 0x61, 3650);
+  EXPECT_GT(grid.engine().now(), 0u);  // establishment consumed time
+  const double bw = bench::circuit_bandwidth_mbps(grid, set, 256 * 1024);
+  EXPECT_GT(bw, 215.0);
+  EXPECT_LT(bw, 235.0);
+}
+
+TEST(BenchHelpers, CircuitFiguresAreDeterministicAcrossGrids) {
+  auto once = [] {
+    bench::gr::Grid grid;
+    bench::attach_testbed(grid);
+    grid.build();
+    auto set =
+        grid.make_circuit("det", padico::circuit::Group({0, 1}), 0x62, 3660);
+    const double lat = bench::circuit_latency_us(grid, set);
+    return std::make_pair(lat, bench::circuit_bandwidth_mbps(grid, set, 1 << 20));
+  };
+  EXPECT_EQ(once(), once());
+}

@@ -8,6 +8,7 @@
 
 #include "core/core.hpp"
 #include "grid/grid.hpp"
+#include "madeleine/circuit.hpp"
 #include "madeleine/madeleine.hpp"
 #include "net/madio.hpp"
 #include "simnet/simnet.hpp"
@@ -163,6 +164,62 @@ TEST(Determinism, HeaderCombiningIsARealCodePathDifference) {
   // The ablation must not be cosmetic: combined and naive runs produce
   // different (each deterministic) timestamp traces.
   EXPECT_NE(madio_two_tag_run(true), madio_two_tag_run(false));
+}
+
+namespace {
+
+/// A 4-node circuit exercising multi-node groups: a token ring on one
+/// circuit racing a 2 KB pairwise burst on an overlapping second
+/// circuit, both arbitrated per node.  Returns every handler-dispatch
+/// timestamp in order.
+std::vector<pc::SimTime> circuit_ring_run() {
+  gr::Grid grid;
+  grid.add_nodes(4);
+  sn::NetId san = grid.add_network(sn::profiles::myrinet2000());
+  for (pc::NodeId i = 0; i < 4; ++i) grid.attach(san, i);
+  grid.build();
+
+  gr::CircuitSet ring =
+      grid.make_circuit("ring", padico::circuit::Group({0, 1, 2, 3}), 1, 7100);
+  gr::CircuitSet pair =
+      grid.make_circuit("pair", padico::circuit::Group({2, 0}), 2, 7101);
+
+  std::vector<pc::SimTime> stamps;
+  int hops = 0;
+  for (int r = 0; r < 4; ++r) {
+    ring.at(r).set_recv_handler([&, r](int, padico::mad::UnpackHandle&) {
+      stamps.push_back(grid.engine().now());
+      if (++hops < 16) ring.at(r).send((r + 1) % 4, pc::view_of("t"));
+    });
+  }
+  int bursts = 0;
+  pair.at(1).set_recv_handler([&](int, padico::mad::UnpackHandle& u) {
+    stamps.push_back(grid.engine().now());
+    EXPECT_EQ(u.remaining(), 2048u);
+    pair.at(1).send(0, pc::view_of("k"));
+  });
+  pair.at(0).set_recv_handler([&](int, padico::mad::UnpackHandle&) {
+    stamps.push_back(grid.engine().now());
+    if (++bursts < 6) pair.at(0).send(1, pc::view_of(pc::Bytes(2048, 0x33)));
+  });
+
+  ring.at(0).send(1, pc::view_of("t"));
+  pair.at(0).send(1, pc::view_of(pc::Bytes(2048, 0x33)));
+  grid.engine().run_until_idle();
+
+  EXPECT_EQ(hops, 16);
+  EXPECT_EQ(bursts, 6);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(ring.at(r).seq_gaps(), 0u) << "rank " << r;
+    EXPECT_EQ(ring.at(r).dropped(), 0u) << "rank " << r;
+  }
+  return stamps;
+}
+
+}  // namespace
+
+TEST(Determinism, CircuitRingTimestampsBitIdenticalAcrossRuns) {
+  EXPECT_EQ(circuit_ring_run(), circuit_ring_run());
 }
 
 TEST(Determinism, LossyNetworkStillDeterministic) {

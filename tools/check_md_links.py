@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Check that markdown links resolve.
+
+For every file given on the command line, extract inline links
+(``[text](target)``) and verify that relative targets exist on disk,
+resolved against the markdown file's directory.  External schemes
+(http/https/mailto) and pure in-page anchors are skipped; a ``#anchor``
+suffix on a relative target is ignored when resolving the path.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link).  No dependencies beyond the standard library, so CI and
+a local run behave identically:
+
+    python3 tools/check_md_links.py README.md DESIGN.md ROADMAP.md
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+# Matching on the `](target)` tail catches every target, including both
+# halves of nested badge links ([![alt](badge.svg)](target)) and plain
+# image embeds (![alt](path)).
+LINK = re.compile(r"\]\(([^)\s]+)\)")
+SKIP = ("http://", "https://", "mailto:")
+
+
+def check(md: Path) -> list[str]:
+    broken = []
+    in_fence = False
+    for n, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:  # example code, not a rendered link
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(SKIP) or target.startswith("#"):
+                continue
+            path = (md.parent / target.split("#", 1)[0]).resolve()
+            if not path.exists():
+                broken.append(f"{md}:{n}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_md_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    broken = []
+    for name in argv:
+        md = Path(name)
+        if not md.exists():
+            broken.append(f"{md}: file not found")
+            continue
+        broken.extend(check(md))
+    for line in broken:
+        print(line, file=sys.stderr)
+    if not broken:
+        print(f"ok: {len(argv)} file(s), all links resolve")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
