@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "grid/grid.hpp"
+#include "selector/selector.hpp"
 
 // Middleware layers land PR by PR; each driver section below compiles
 // once its library exists, so the base helpers (testbed, vlink drivers)
@@ -299,17 +300,26 @@ struct LinkPair {
   std::unique_ptr<padico::vlink::Link> a, b;
 };
 
+/// Wire a node0 -> node1 link pair.  `method` names a driver, or
+/// "auto": the server then listens on every driver and the connect
+/// goes through node 0's chooser (`node.chooser()`), exactly like a
+/// middleware that does not know the topology.
 inline LinkPair make_link_pair(gr::Grid& grid, const std::string& method,
                                pc::Port port) {
   LinkPair p;
-  grid.node(1).vlink().driver(method)->listen(
-      port,
-      [&p](std::unique_ptr<padico::vlink::Link> l) { p.b = std::move(l); });
-  grid.node(0).vlink().connect(
-      method, {1, port},
-      [&p](pc::Result<std::unique_ptr<padico::vlink::Link>> r) {
-        if (r.ok()) p.a = std::move(*r);
-      });
+  auto on_accept = [&p](std::unique_ptr<padico::vlink::Link> l) {
+    p.b = std::move(l);
+  };
+  auto on_connect = [&p](pc::Result<std::unique_ptr<padico::vlink::Link>> r) {
+    if (r.ok()) p.a = std::move(*r);
+  };
+  if (method == "auto") {
+    grid.node(1).vlink().listen(port, on_accept);
+    grid.node(0).vlink().connect({1, port}, on_connect);
+  } else {
+    grid.node(1).vlink().driver(method)->listen(port, on_accept);
+    grid.node(0).vlink().connect(method, {1, port}, on_connect);
+  }
   grid.engine().run_while_pending([&] { return p.a && p.b; });
   return p;
 }

@@ -1,7 +1,10 @@
 #include "grid/grid.hpp"
 
 #include <cassert>
+#include <map>
+#include <set>
 #include <stdexcept>
+#include <string>
 
 #include "drivers/san_driver.hpp"
 #include "madeleine/circuit.hpp"
@@ -9,7 +12,9 @@
 #include "net/madio.hpp"
 #include "net/madio_driver.hpp"
 #include "net/netaccess.hpp"
+#include "selector/selector.hpp"
 #include "vlink/net_driver.hpp"
+#include "vlink/pstream_driver.hpp"
 
 namespace padico::grid {
 
@@ -29,7 +34,10 @@ struct Grid::SanStack {
 Node::Node(core::Engine& engine, core::NodeId id)
     : host_(engine, id),
       vlink_(host_),
-      access_(std::make_unique<net::NetAccess>(host_)) {}
+      access_(std::make_unique<net::NetAccess>(host_)),
+      chooser_(std::make_unique<selector::Chooser>(vlink_)) {
+  vlink_.set_policy(chooser_.get());
+}
 
 Node::~Node() = default;
 
@@ -67,6 +75,60 @@ void Grid::attach(simnet::NetId net, core::NodeId node) {
 
 void Grid::build(const BuildOptions& options) {
   if (built_) return;
+  if (options.pstream_width < 1 || options.pstream_width > 64) {
+    throw std::invalid_argument(
+        "Grid::build(): pstream_width " +
+        std::to_string(options.pstream_width) + " outside [1, 64]");
+  }
+  // Plan every attachment's method name (and its pstream stack, if
+  // any) up front.  The plan is the single source of truth: it
+  // validates wan_method BEFORE anything mutates — a failed build()
+  // leaves the grid un-built for a corrected retry — and the wiring
+  // below consumes the same names, so the two can never drift.
+  struct Planned {
+    std::string method;
+    std::string pstream;  // empty: no parallel-stream stack
+  };
+  std::vector<Planned> plan(attachments_.size());
+  {
+    std::map<core::NodeId, std::set<std::string>> used;
+    auto claim = [&](core::NodeId node, const std::string& base,
+                     simnet::NetId net_id) {
+      std::string m = base;
+      if (used[node].count(m) != 0) {
+        // Two same-profile networks on one node (e.g. twin SANs): keep
+        // method names unique and deterministic.  (Two appends rather
+        // than operator+ to dodge GCC 12's -Wrestrict false positive.)
+        m += "@";
+        m += std::to_string(net_id);
+      }
+      used[node].insert(m);
+      return m;
+    };
+    for (std::size_t i = 0; i < attachments_.size(); ++i) {
+      const auto& [net_id, node_id] = attachments_[i];
+      const simnet::LinkModel& model = fabric_.network(net_id).model();
+      plan[i].method = claim(node_id, model.driver, net_id);
+      if (model.driver != "madio" &&
+          model.net_class == selector::NetClass::wan) {
+        plan[i].pstream = claim(node_id, "pstream", net_id);
+      }
+    }
+  }
+  if (!options.wan_method.empty()) {
+    bool known = false;
+    for (const Planned& p : plan) {
+      if (p.method == options.wan_method || p.pstream == options.wan_method) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw std::invalid_argument("Grid::build(): wan_method '" +
+                                  options.wan_method +
+                                  "' matches no driver this topology wires");
+    }
+  }
   options_ = options;
   built_ = true;
 
@@ -78,36 +140,55 @@ void Grid::build(const BuildOptions& options) {
 
   // Attachment declaration order fixes driver preference order, so the
   // typical "SAN first, LAN second" testbed auto-selects the SAN.
-  for (const auto& [net_id, node_id] : attachments_) {
+  for (std::size_t i = 0; i < attachments_.size(); ++i) {
+    const auto& [net_id, node_id] = attachments_[i];
     simnet::Network& net = fabric_.network(net_id);
     Node& node = *nodes_[node_id];
     vlink::VLink& vl = node.vlink();
-    std::string method = net.model().driver;
-    if (vl.driver(method) != nullptr) {
-      // Two same-profile networks on one node (e.g. twin SANs): keep
-      // method names unique and deterministic.  (Two appends rather
-      // than operator+ to dodge GCC 12's -Wrestrict false positive.)
-      method += "@";
-      method += std::to_string(net_id);
-    }
-    if (net.model().driver == "madio") {
+    const simnet::LinkModel& model = net.model();
+    // Drivers inherit the profile's distance class and trust bit, so
+    // the chooser classifies from profiles, never from method names.
+    const selector::Caps base_caps = model.secure ? selector::kCapSecure : 0;
+    const std::string& method = plan[i].method;
+    if (model.driver == "madio") {
       // SAN: the full arbitration stack under the vlink method.
       auto stack = std::make_unique<SanStack>(node.host(), fabric_, net_id,
                                               node.access(),
                                               options_.header_combining);
       node.madios_.push_back(&stack->io);
-      vl.add_driver(std::make_unique<net::MadIODriver>(stack->io, method));
+      auto driver = std::make_unique<net::MadIODriver>(stack->io, method);
+      driver->set_net_class(model.net_class);
+      driver->set_caps(base_caps);
+      vl.add_driver(std::move(driver));
       san_stacks_.push_back(std::move(stack));
     } else {
       // IP network: baseline NetDriver, arbitrated on the SysIO side.
       auto driver =
           std::make_unique<vlink::NetDriver>(node.host(), net, method);
+      driver->set_net_class(model.net_class);
+      driver->set_caps(base_caps);
       driver->set_dispatch(
           [access = &node.access()](std::function<void()> fn) {
             access->post_sys(std::move(fn));
           });
+      vlink::NetDriver* base = driver.get();
       vl.add_driver(std::move(driver));
+      if (!plan[i].pstream.empty()) {
+        // Long fat pipe: stack the parallel-stream adapter on the IP
+        // driver.  Registered after its base, so the chooser's default
+        // wan ranking still lands on plain "sysio" — pstream is
+        // activated via BuildOptions::wan_method / set_wan_method.
+        auto ps = std::make_unique<vlink::PstreamDriver>(
+            node.host(), *base, plan[i].pstream, options_.pstream_width);
+        ps->set_net_class(model.net_class);
+        ps->set_caps(base_caps | selector::kCapParallel);
+        vl.add_driver(std::move(ps));
+      }
     }
+  }
+
+  for (const auto& node : nodes_) {
+    node->chooser().set_wan_method(options_.wan_method);
   }
 }
 

@@ -9,14 +9,20 @@
 //   grid.node(0).vlink().connect("madio", {1, port}, cb);
 //
 // `build()` freezes the topology: it creates one Host + VLink +
-// NetAccess per node and, for every (network, node) attachment,
-// registers a driver named after the network profile's driver method.
-// SAN attachments ("madio") get the full arbitration stack — SanDriver
-// -> Madeleine -> MadIO -> MadIODriver — honouring
-// BuildOptions::header_combining; IP attachments ("sysio") keep the
-// baseline NetDriver, with deliveries routed through the node's
-// arbitration so SysIO and MadIO traffic genuinely contend
-// (node.arbitration() tunes the interleave).
+// NetAccess + selector::Chooser per node and, for every (network,
+// node) attachment, registers a driver named after the network
+// profile's driver method, stamped with the profile's NetClass
+// affinity and capability bits.  SAN attachments ("madio") get the
+// full arbitration stack — SanDriver -> Madeleine -> MadIO ->
+// MadIODriver — honouring BuildOptions::header_combining; IP
+// attachments ("sysio") keep the baseline NetDriver, with deliveries
+// routed through the node's arbitration so SysIO and MadIO traffic
+// genuinely contend (node.arbitration() tunes the interleave).
+// Wan-class attachments additionally get a "pstream" parallel-stream
+// driver (BuildOptions::pstream_width sub-links) stacked on their IP
+// driver.  The chooser is installed as each VLink's SelectionPolicy,
+// so `node.vlink().connect(remote, fn)` picks madio intra-cluster and
+// the (overridable) wan method across clusters automatically.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +47,10 @@ namespace padico::circuit {
 class Group;
 }  // namespace padico::circuit
 
+namespace padico::selector {
+class Chooser;
+}  // namespace padico::selector
+
 namespace padico::grid {
 
 class CircuitSet;  // madeleine/circuit.hpp
@@ -48,9 +58,17 @@ class CircuitSet;  // madeleine/circuit.hpp
 /// Build-time knobs.  Fields beyond the base runtime are consumed by
 /// the layers that implement them (selector, MadIO, VRP); the base
 /// build records them so upper layers can query `grid.options()`.
+/// build() validates: `pstream_width` must be in [1, 64], and a
+/// non-empty `wan_method` must name a method some node actually got.
 struct BuildOptions {
-  /// Preferred driver method for inter-cluster (WAN) traffic.
+  /// Preferred driver method for inter-cluster (WAN) traffic; seeds
+  /// every node chooser's `set_wan_method`.  Empty keeps the default
+  /// ranking (plain "sysio"; parallel streams are opt-in, like §5).
   std::string wan_method;
+
+  /// Sub-links per "pstream" connection (wan-class attachments get a
+  /// pstream driver stacked on their IP driver).
+  int pstream_width = 4;
 
   /// MadIO header combining (section 4.1 ablation).
   bool header_combining = true;
@@ -78,6 +96,10 @@ class Node {
   /// The node's SysIO/MadIO interleaving policy knobs.
   net::Arbitration& arbitration() noexcept;
 
+  /// The node's topology-aware method selector; installed as the
+  /// VLink's SelectionPolicy, so method-less connects go through it.
+  selector::Chooser& chooser() noexcept { return *chooser_; }
+
   /// The MadIO instance of the i-th SAN attachment; nullptr if the
   /// node has no such attachment.
   net::MadIO* madio(std::size_t i = 0) const noexcept;
@@ -88,6 +110,7 @@ class Node {
   core::Host host_;
   vlink::VLink vlink_;
   std::unique_ptr<net::NetAccess> access_;
+  std::unique_ptr<selector::Chooser> chooser_;
   std::vector<net::MadIO*> madios_;  // borrowed from Grid's SAN stacks
 };
 

@@ -1,0 +1,55 @@
+// Network classification vocabulary shared across the stack.
+//
+// `NetClass` is the selector's coarse view of how far away a peer is:
+// the paper's automatic method choice is exactly "pick the access
+// method that matches the class of the path" — Madeleine/MadIO inside
+// a SAN cluster, plain sockets on the LAN, and (parallel-stream) TCP
+// across the WAN.  The enum is ordered from nearest to farthest so
+// "the tightest class any driver reaches" is a plain min().
+//
+// This header is dependency-free on purpose: simnet link profiles
+// carry a NetClass hint, vlink drivers carry a NetClass affinity, and
+// the selector consumes both — none of those layers may depend on the
+// others for it.
+#pragma once
+
+#include <cstdint>
+
+namespace padico::selector {
+
+/// How far a destination is, nearest first (so std::min picks the
+/// tightest class a set of drivers can offer).
+enum class NetClass : std::uint8_t {
+  loopback = 0,  // the node itself
+  san = 1,       // system-area network inside the machine room
+  lan = 2,       // cluster-local IP network
+  wan = 3,       // wide-area path between clusters
+};
+
+/// Stable lowercase name for reports and benches.
+constexpr const char* net_class_name(NetClass c) {
+  switch (c) {
+    case NetClass::loopback: return "loopback";
+    case NetClass::san: return "san";
+    case NetClass::lan: return "lan";
+    case NetClass::wan: return "wan";
+  }
+  return "unknown";
+}
+
+/// Driver capability bitmask, consumed by the chooser's ranking and by
+/// middleware that asks `path_secure()` before deciding to encrypt.
+using Caps = std::uint32_t;
+
+/// The path never leaves trusted infrastructure (machine room /
+/// cluster-private VLAN); no transport encryption needed.
+inline constexpr Caps kCapSecure = 1u << 0;
+
+/// The driver tolerates residual loss (VRP-style adapters).
+inline constexpr Caps kCapLossTolerant = 1u << 1;
+
+/// The driver aggregates several underlying streams (parallel streams
+/// on long fat pipes where one socket cannot fill the pipe).
+inline constexpr Caps kCapParallel = 1u << 2;
+
+}  // namespace padico::selector

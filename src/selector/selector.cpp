@@ -1,0 +1,91 @@
+#include "selector/selector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace padico::selector {
+
+const Chooser::Decision& Chooser::decide(core::NodeId dst) {
+  ++lookups_;
+  if (auto it = cache_.find(dst); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+
+  Decision d;
+  if (dst == vlink_->node()) {
+    d.cls = NetClass::loopback;
+  } else {
+    // Tightest class any reaching driver serves; unreachable peers
+    // keep the conservative {wan, nullptr} default.
+    bool reachable = false;
+    for (const auto& drv : vlink_->drivers()) {
+      if (!drv->reaches(dst)) continue;
+      if (!reachable || drv->net_class() < d.cls) d.cls = drv->net_class();
+      reachable = true;
+    }
+    if (reachable) {
+      // WAN override first (the paper's "activate parallel streams"
+      // switch), then the first registered driver whose affinity
+      // matches the destination's class.
+      if (d.cls == NetClass::wan && !wan_method_.empty()) {
+        if (vlink::Driver* o = vlink_->driver(wan_method_);
+            o != nullptr && o->reaches(dst)) {
+          d.driver = o;
+        }
+      }
+      if (d.driver == nullptr) {
+        for (const auto& drv : vlink_->drivers()) {
+          if (drv->reaches(dst) && drv->net_class() == d.cls) {
+            d.driver = drv.get();
+            break;
+          }
+        }
+      }
+    }
+  }
+  return cache_.emplace(dst, d).first->second;
+}
+
+NetClass Chooser::classify(core::NodeId dst) { return decide(dst).cls; }
+
+std::string Chooser::choose(core::NodeId dst) {
+  const Decision& d = decide(dst);
+  if (d.cls == NetClass::loopback) return "loopback";
+  if (d.driver == nullptr) {
+    throw std::runtime_error("selector: no driver reaches node " +
+                             std::to_string(dst));
+  }
+  return d.driver->name();
+}
+
+bool Chooser::path_secure(core::NodeId dst) {
+  const Decision& d = decide(dst);
+  if (d.cls == NetClass::loopback) return true;
+  return d.driver != nullptr && d.driver->has_cap(kCapSecure);
+}
+
+void Chooser::set_wan_method(std::string method) {
+  if (method == wan_method_) return;
+  wan_method_ = std::move(method);
+  invalidate();
+}
+
+vlink::Driver* Chooser::select(core::NodeId dst, core::Error* error) {
+  const Decision& d = decide(dst);
+  if (d.driver != nullptr) return d.driver;
+  if (error) {
+    if (d.cls == NetClass::loopback) {
+      *error = {core::Status::unreachable,
+                "selector: node " + std::to_string(dst) +
+                    " is the local node (no loopback driver)"};
+    } else {
+      *error = {core::Status::unreachable,
+                "no driver reaches node " + std::to_string(dst)};
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace padico::selector

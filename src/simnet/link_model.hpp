@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/time.hpp"
+#include "selector/net_class.hpp"
 
 namespace padico::simnet {
 
@@ -39,6 +40,22 @@ struct LinkModel {
 
   /// Independent probability that any single frame is lost.
   double loss_rate = 0.0;
+
+  /// Distance class of this network as the selector sees it; drivers
+  /// wired to the network inherit it as their affinity, so method
+  /// classification derives from profiles, never from name matching.
+  selector::NetClass net_class = selector::NetClass::lan;
+
+  /// Whether the medium stays on trusted infrastructure (machine room
+  /// / cluster-private VLAN).  Feeds the drivers' kCapSecure bit and
+  /// the chooser's `path_secure()`.
+  bool secure = true;
+
+  /// Per-connection throughput cap in bytes/second (0 = only the raw
+  /// link rate limits).  Models a window-limited TCP stream on a long
+  /// fat pipe: one stream cannot fill the link, which is exactly what
+  /// the "pstream" parallel-stream driver exists to fix (§5).
+  std::uint64_t per_stream_bytes_per_second = 0;
 };
 
 namespace profiles {
@@ -49,8 +66,11 @@ LinkModel myrinet2000();
 /// Switched Fast Ethernet: 100 Mbit/s, TCP-ish per-message latency.
 LinkModel ethernet100();
 
-/// VTHD 2.5 Gbit/s wide-area research backbone (paper section 5);
-/// per-stream share modelled at 1 Gbit/s, ~5 ms one-way.
+/// VTHD 2.5 Gbit/s wide-area research backbone (paper section 5).
+/// Node access runs through Ethernet-100 (12.5 MB/s cap) and a single
+/// TCP stream is window-limited to ~9 MB/s on the ~8 ms path, so the
+/// profile carries a per-stream cap — the "pstream" driver's reason to
+/// exist.
 LinkModel vthd_wan();
 
 /// Lossy trans-continental Internet path used by the VRP experiments.

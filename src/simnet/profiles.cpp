@@ -10,6 +10,8 @@ LinkModel myrinet2000() {
   m.bytes_per_second = 250'000'000;  // 2 Gbit/s
   m.mtu = 32 * 1024;
   m.frame_overhead = 8;  // route header + CRC
+  m.net_class = selector::NetClass::san;
+  m.secure = true;  // machine-room wiring
   return m;
 }
 
@@ -21,6 +23,8 @@ LinkModel ethernet100() {
   m.bytes_per_second = 12'500'000;  // 100 Mbit/s
   m.mtu = 1500;
   m.frame_overhead = 58;  // Ethernet + IP + TCP headers, gap
+  m.net_class = selector::NetClass::lan;
+  m.secure = true;  // cluster-private VLAN
   return m;
 }
 
@@ -28,10 +32,18 @@ LinkModel vthd_wan() {
   LinkModel m;
   m.name = "vthd-wan";
   m.driver = "sysio";
-  m.latency = core::milliseconds(5);
-  m.bytes_per_second = 125'000'000;  // 1 Gbit/s per-stream share
+  // Section 5 testbed: the VTHD backbone itself is 2.5 Gbit/s, but
+  // each node reaches it through Ethernet-100, so 12.5 MB/s is the
+  // per-node access cap — the ceiling parallel streams recover.  A
+  // single TCP stream is window-limited on the ~8 ms path and tops
+  // out around 9 MB/s (the paper's single-socket measurement).
+  m.latency = core::milliseconds(8);
+  m.bytes_per_second = 12'500'000;          // Ethernet-100 access cap
+  m.per_stream_bytes_per_second = 9'350'000;  // one window-limited stream
   m.mtu = 1500;
   m.frame_overhead = 58;
+  m.net_class = selector::NetClass::wan;
+  m.secure = false;  // shared research backbone
   return m;
 }
 
@@ -44,6 +56,8 @@ LinkModel transcontinental_internet(double loss_rate) {
   m.mtu = 1500;
   m.frame_overhead = 58;
   m.loss_rate = loss_rate;
+  m.net_class = selector::NetClass::wan;
+  m.secure = false;
   return m;
 }
 

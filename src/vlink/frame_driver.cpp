@@ -135,6 +135,9 @@ void FrameDriver::handle_frame(core::NodeId src, core::ByteView frame) {
   }
 }
 
-void FrameDriver::forget(std::uint64_t conn_id) { links_.erase(conn_id); }
+void FrameDriver::forget(std::uint64_t conn_id) {
+  links_.erase(conn_id);
+  on_connection_closed(conn_id);
+}
 
 }  // namespace padico::vlink

@@ -27,6 +27,9 @@ class FrameDriver : public Driver {
 
   void listen(core::Port port, AcceptFn on_accept) override;
   void unlisten(core::Port port) override;
+  bool listening(core::Port port) const override {
+    return listeners_.count(port) != 0;
+  }
   void connect(const RemoteAddr& remote, ConnectFn on_connect) override;
 
  protected:
@@ -41,6 +44,13 @@ class FrameDriver : public Driver {
   /// Entry point for the transport: parse and act on one received
   /// frame.  Malformed frames are counted and dropped.
   void handle_frame(core::NodeId src, core::ByteView frame);
+
+  /// Hook: the link bound to `conn_id` is gone (destroyed or the
+  /// connection was torn down); transports drop per-connection state
+  /// (NetDriver's per-stream pacing bucket) here.
+  virtual void on_connection_closed(std::uint64_t conn_id) {
+    (void)conn_id;
+  }
 
   std::uint64_t malformed_frames() const noexcept { return malformed_; }
 

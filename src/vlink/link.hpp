@@ -40,6 +40,14 @@ class Link {
 
   /// Await exactly `n` bytes from the stream.  Requests are served in
   /// FIFO order; each returns a buffer of exactly `n` bytes.
+  ///
+  /// Lifetime rule: the receive path executes ON the link (the
+  /// transport's delivery, and for striped links a member reader
+  /// coroutine), so a continuation resumed by a read must not destroy
+  /// the link it just read from — hold the link across the await and
+  /// drop it from outside the delivery chain (e.g. an engine event),
+  /// like every other "X must outlive the run loop" rule in this
+  /// stack.
   core::Completion<core::Bytes> read_n(std::size_t n);
 
   /// Bytes buffered and not yet claimed by a read.

@@ -1,5 +1,6 @@
 #include "vlink/net_driver.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace padico::vlink {
@@ -17,9 +18,45 @@ bool NetDriver::reaches(core::NodeId node) const {
   return node != host().id() && net_->attached(node);
 }
 
+core::Duration NetDriver::stream_time(std::size_t bytes) const {
+  const std::uint64_t wire =
+      bytes + net_->frames_for(bytes) * net_->model().frame_overhead;
+  const std::uint64_t bps =
+      std::max<std::uint64_t>(net_->model().per_stream_bytes_per_second, 1);
+  return (wire * 1'000'000'000ull + bps - 1) / bps;
+}
+
 void NetDriver::emit(core::NodeId dst, const wire::Header& h,
                      core::ByteView payload) {
-  net_->send(host().id(), dst, wire::encode(h, payload));
+  core::Bytes frame = wire::encode(h, payload);
+  if (net_->model().per_stream_bytes_per_second == 0) {
+    net_->send(host().id(), dst, std::move(frame));
+    return;
+  }
+  // Window-limited stream: this connection's frames queue behind each
+  // other at the per-stream rate before touching the shared NIC.  Per
+  // connection the release instants are monotone and same-instant
+  // events run FIFO, so frame order within a stream is preserved.
+  core::Engine& engine = host().engine();
+  core::SimTime& busy = stream_busy_[h.conn_id];
+  const core::SimTime start = std::max(engine.now(), busy);
+  busy = start + stream_time(frame.size());
+  if (start == engine.now()) {
+    net_->send(host().id(), dst, std::move(frame));
+    return;
+  }
+  // Deliberately NOT capturing `this`: the driver may die before the
+  // engine fires a paced frame (links outlive drivers by contract),
+  // while the network — owned by the fabric, declared above every
+  // driver — outlives any engine run a test can still perform.
+  engine.schedule_at(start, [net = net_, src = host().id(), dst,
+                             f = std::move(frame)]() mutable {
+    net->send(src, dst, std::move(f));
+  });
+}
+
+void NetDriver::on_connection_closed(std::uint64_t conn_id) {
+  stream_busy_.erase(conn_id);
 }
 
 void NetDriver::on_message(core::NodeId src, core::Bytes msg) {

@@ -7,6 +7,14 @@
 // up in the timing for free — exactly the effect the MadIO
 // header-combining experiments measure higher in the stack.
 //
+// Per-stream pacing: when the network profile carries a
+// `per_stream_bytes_per_second` cap (the window-limited-TCP model of
+// the WAN profiles), each connection pays that rate on its own frames
+// before they reach the shared NIC FIFO — so one socket cannot fill
+// the pipe, several in parallel can, and the "pstream" driver's gain
+// is measured rather than asserted.  Pacing is per (sender,
+// connection); the bucket is dropped when the connection's link dies.
+//
 // An optional dispatch hook defers frame handling to an external
 // scheduler: the Grid installs the node's NetAccess arbitration here so
 // that IP-side ("sysio") traffic contends with SAN-side traffic under
@@ -14,6 +22,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 
 #include "simnet/network.hpp"
 #include "vlink/frame_driver.hpp"
@@ -40,12 +49,21 @@ class NetDriver final : public FrameDriver {
  protected:
   void emit(core::NodeId dst, const wire::Header& h,
             core::ByteView payload) override;
+  void on_connection_closed(std::uint64_t conn_id) override;
 
  private:
   void on_message(core::NodeId src, core::Bytes msg);
 
+  /// Occupancy of `bytes` on one window-limited stream (same framing
+  /// math as Network::tx_time, at the per-stream rate).
+  core::Duration stream_time(std::size_t bytes) const;
+
   simnet::Network* net_;
   DispatchFn dispatch_;
+  // Per-connection pacing horizon; only populated on profiles with a
+  // per-stream cap.  Refused connects can strand an entry until the
+  // driver dies — one pair of words each, accepted.
+  std::map<std::uint64_t, core::SimTime> stream_busy_;
 };
 
 }  // namespace padico::vlink

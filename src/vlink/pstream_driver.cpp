@@ -1,0 +1,289 @@
+#include "vlink/pstream_driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace padico::vlink {
+
+namespace pstream {
+
+// Same GCC 12 -O2 false-positive story as vlink/wire.hpp (PR 105705):
+// scope the provably in-bounds vector writes out of -Werror.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
+
+core::Bytes encode_sub(const SubHeader& h) {
+  core::Bytes out(kSubHeaderSize, 0);
+  std::memcpy(out.data(), &kMagic, sizeof(kMagic));
+  out[4] = static_cast<std::uint8_t>(h.kind);
+  out[5] = h.index;
+  std::memcpy(out.data() + 6, &h.width, sizeof(h.width));
+  std::memcpy(out.data() + 8, &h.port, sizeof(h.port));
+  std::memcpy(out.data() + 12, &h.len, sizeof(h.len));
+  std::memcpy(out.data() + 16, &h.id, sizeof(h.id));
+  return out;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+std::optional<SubHeader> decode_sub(core::ByteView frame) {
+  if (frame.size() < kSubHeaderSize) return std::nullopt;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, frame.data(), sizeof(magic));
+  if (magic != kMagic) return std::nullopt;
+  const std::uint8_t raw_kind = frame[4];
+  if (raw_kind < static_cast<std::uint8_t>(SubKind::hello) ||
+      raw_kind > static_cast<std::uint8_t>(SubKind::data)) {
+    return std::nullopt;
+  }
+  SubHeader h;
+  h.kind = static_cast<SubKind>(raw_kind);
+  h.index = frame[5];
+  std::memcpy(&h.width, frame.data() + 6, sizeof(h.width));
+  std::memcpy(&h.port, frame.data() + 8, sizeof(h.port));
+  std::memcpy(&h.len, frame.data() + 12, sizeof(h.len));
+  std::memcpy(&h.id, frame.data() + 16, sizeof(h.id));
+  // Senders never stripe chunks beyond kChunkSize; a bigger data
+  // length is corruption and must poison, not swallow sibling frames.
+  if (h.kind == SubKind::data && h.len > kChunkSize) return std::nullopt;
+  return h;
+}
+
+}  // namespace pstream
+
+// ---------------------------------------------------------------------------
+// PstreamLink
+// ---------------------------------------------------------------------------
+
+PstreamLink::PstreamLink(core::NodeId remote_node, core::Port local_port,
+                         core::Port remote_port,
+                         std::vector<std::unique_ptr<Link>> subs)
+    : Link(remote_node, local_port, remote_port) {
+  assert(!subs.empty() && "pstream link needs at least one sub-link");
+  subs_.reserve(subs.size());
+  for (auto& s : subs) {
+    Sub sub;
+    sub.link = std::move(s);
+    subs_.push_back(std::move(sub));
+  }
+  // Readers start only once subs_ is complete: a sub-link may already
+  // hold buffered chunks (they queued behind the hello), and releasing
+  // them can touch any slot of the reorder path.
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    subs_[i].reader = run_reader(i);
+  }
+}
+
+void PstreamLink::send_bytes(core::ByteView data) {
+  if (data.empty()) return;  // no stream bytes, nothing to stripe
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t len = std::min(pstream::kChunkSize, data.size() - off);
+    pstream::SubHeader h;
+    h.kind = pstream::SubKind::data;
+    h.len = static_cast<std::uint32_t>(len);
+    h.id = next_send_seq_;
+    Sub& s = subs_[next_send_seq_ % subs_.size()];
+    core::IoVec iov;
+    iov.append(pstream::encode_sub(h));
+    iov.append_ref(data.subview(off, len));
+    s.link->post_write(iov);
+    s.tx_bytes += len;
+    ++next_send_seq_;
+    off += len;
+  }
+}
+
+core::Task PstreamLink::run_reader(std::size_t i) {
+  Sub& s = subs_[i];  // stable: subs_ never resizes after construction
+  for (;;) {
+    core::Bytes raw = co_await s.link->read_n(pstream::kSubHeaderSize);
+    const std::optional<pstream::SubHeader> h =
+        pstream::decode_sub(core::view_of(raw));
+    // A sequence below the release point or already queued is a
+    // duplicate — corruption, like a parse failure.  A byte stream
+    // cannot resync after garbage, so the sub-link is done for; chunks
+    // already sequenced keep flowing from the healthy siblings.
+    if (!h || h->kind != pstream::SubKind::data || h->len == 0 ||
+        h->id < next_deliver_seq_ || reorder_.count(h->id) != 0) {
+      ++malformed_;
+      s.poisoned = true;
+      co_return;
+    }
+    core::Bytes chunk = co_await s.link->read_n(h->len);
+    s.rx_bytes += chunk.size();
+    reorder_.emplace(h->id, std::move(chunk));
+    // Release everything now contiguous, strictly in sequence order.
+    for (;;) {
+      auto it = reorder_.find(next_deliver_seq_);
+      if (it == reorder_.end()) break;
+      core::Bytes ready = std::move(it->second);
+      reorder_.erase(it);
+      ++next_deliver_seq_;
+      deliver(core::view_of(ready));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PstreamDriver
+// ---------------------------------------------------------------------------
+
+PstreamDriver::PstreamDriver(core::Host& host, Driver& base, std::string name,
+                             int width)
+    : Driver(std::move(name)), host_(&host), base_(&base), width_(width) {
+  assert(width >= 1 && width <= 255 && "hello index is one byte");
+}
+
+// The base driver may already be gone during whole-VLink teardown
+// (drivers die in registration order), so the destructor must not
+// unlisten through it; dropped listens die with the base driver.
+PstreamDriver::~PstreamDriver() = default;
+
+void PstreamDriver::listen(core::Port port, AcceptFn on_accept) {
+  // Detect the P / P^0x8000 pair collision loudly: if the mapped
+  // rendezvous port is already served on the base driver (or a pstream
+  // listener already owns it), a silent listeners_[...] overwrite
+  // would swallow one of the two streams of traffic.
+  if (listeners_.count(port) == 0 &&
+      base_->listening(pstream::sub_port(port))) {
+    throw std::logic_error(
+        name() + ": rendezvous port " +
+        std::to_string(pstream::sub_port(port)) + " (for logical port " +
+        std::to_string(port) + ") is already listened on via " +
+        base_->name());
+  }
+  listeners_[port] = std::move(on_accept);
+  base_->listen(pstream::sub_port(port), [this, port](std::unique_ptr<Link> sub) {
+    // Lazy sweep: hellos that finished since the last accept are
+    // suspended at their final point and safe to destroy now.
+    std::erase_if(hellos_, [](const auto& kv) { return kv.second.done; });
+    const std::uint64_t key = next_hello_key_++;
+    auto [it, inserted] = hellos_.emplace(key, PendingHello{});
+    assert(inserted);
+    it->second.sub = std::move(sub);
+    it->second.reader = read_hello(key, port);
+  });
+}
+
+void PstreamDriver::unlisten(core::Port port) {
+  // Only release the mapped base port if this logical port actually
+  // claimed it — an unlisten of a never-listened port must not tear
+  // down whatever else lives at `sub_port(port)` on the base driver.
+  if (listeners_.erase(port) == 0) return;
+  base_->unlisten(pstream::sub_port(port));
+}
+
+void PstreamDriver::connect(const RemoteAddr& remote, ConnectFn on_connect) {
+  if (!reaches(remote.node)) {
+    on_connect(core::Result<std::unique_ptr<Link>>::err(
+        core::Status::unreachable, name() + ": node " +
+                                       std::to_string(remote.node) +
+                                       " not reachable"));
+    return;
+  }
+  // Group ids are globally unique: origin node in the high bits (two
+  // connectors must never collide at one acceptor), counter below.
+  const std::uint64_t group =
+      (static_cast<std::uint64_t>(host_->id()) << 40) | next_group_++;
+
+  struct Pending {
+    ConnectFn fn;
+    RemoteAddr remote;
+    int width = 0;
+    std::vector<std::unique_ptr<Link>> subs;
+    int connected = 0;
+    bool failed = false;
+  };
+  auto pc = std::make_shared<Pending>();
+  pc->fn = std::move(on_connect);
+  pc->remote = remote;
+  pc->width = width_;
+  pc->subs.resize(static_cast<std::size_t>(width_));
+
+  for (int i = 0; i < width_; ++i) {
+    base_->connect(
+        {remote.node, pstream::sub_port(remote.port)},
+        [this, pc, i, group](core::Result<std::unique_ptr<Link>> r) {
+          if (pc->failed) return;  // a sibling already reported the error
+          if (!r.ok()) {
+            pc->failed = true;
+            pc->subs.clear();  // abandon already-established sub-links
+            pc->fn(core::Result<std::unique_ptr<Link>>::err(
+                r.status(), name() + ": sub-link " + std::to_string(i) +
+                                ": " + r.error().message));
+            return;
+          }
+          std::unique_ptr<Link> sub = std::move(*r);
+          // The hello paces ahead of any user data in this sub-link's
+          // FIFO byte stream, so the acceptor always sees it first.
+          pstream::SubHeader hello;
+          hello.kind = pstream::SubKind::hello;
+          hello.index = static_cast<std::uint8_t>(i);
+          hello.width = static_cast<std::uint16_t>(pc->width);
+          hello.port = pc->remote.port;
+          hello.id = group;
+          sub->post_write(core::view_of(pstream::encode_sub(hello)));
+          pc->subs[static_cast<std::size_t>(i)] = std::move(sub);
+          if (++pc->connected == pc->width) {
+            auto link = std::make_unique<PstreamLink>(
+                pc->remote.node, pc->subs.front()->local_port(),
+                pc->remote.port, std::move(pc->subs));
+            pc->fn(core::Result<std::unique_ptr<Link>>(std::move(link)));
+          }
+        });
+  }
+}
+
+core::Task PstreamDriver::read_hello(std::uint64_t key,
+                                     core::Port logical_port) {
+  PendingHello& ph = hellos_.at(key);  // node-stable across map churn
+  core::Bytes raw = co_await ph.sub->read_n(pstream::kSubHeaderSize);
+  const std::optional<pstream::SubHeader> h =
+      pstream::decode_sub(core::view_of(raw));
+  // Width is bounded by the one-byte index field; a wider claim can
+  // never complete and would strand its group, so it is garbage.
+  bool ok = h && h->kind == pstream::SubKind::hello && h->width >= 1 &&
+            h->width <= 255 && h->index < h->width &&
+            h->port == logical_port;
+  if (ok) {
+    PendingGroup& g = accepting_[h->id];
+    if (g.slots.empty()) {
+      g.port = logical_port;
+      g.width = h->width;
+      g.slots.resize(h->width);
+    }
+    if (g.width != h->width || g.port != logical_port ||
+        g.slots[h->index] != nullptr) {
+      ok = false;  // inconsistent sibling; drop this sub-link only
+    } else {
+      g.slots[h->index] = std::move(ph.sub);
+      if (++g.filled == g.width) {
+        PendingGroup done = std::move(g);
+        accepting_.erase(h->id);
+        auto lit = listeners_.find(logical_port);
+        if (lit == listeners_.end()) {
+          ok = false;  // unlistened mid-establishment; drop the group
+        } else {
+          Link* first = done.slots.front().get();
+          auto link = std::make_unique<PstreamLink>(
+              first->remote_node(), logical_port, first->remote_port(),
+              std::move(done.slots));
+          lit->second(std::move(link));
+        }
+      }
+    }
+  }
+  if (!ok) ++malformed_hellos_;
+  ph.done = true;
+}
+
+}  // namespace padico::vlink

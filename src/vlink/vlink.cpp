@@ -1,11 +1,23 @@
 #include "vlink/vlink.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace padico::vlink {
 
+VLink::VLink(core::Host& host)
+    : host_(&host),
+      default_policy_(std::make_unique<FirstReachablePolicy>(*this)),
+      policy_(default_policy_.get()) {}
+
+VLink::~VLink() = default;
+
 void VLink::add_driver(std::unique_ptr<Driver> driver) {
+  // Replay sticky listens so a late-registered driver accepts on the
+  // same ports as its older siblings.
+  for (const auto& [port, fn] : listens_) driver->listen(port, fn);
   drivers_.push_back(std::move(driver));
+  policy_->on_drivers_changed();
 }
 
 Driver* VLink::driver(const std::string& method) const {
@@ -15,8 +27,31 @@ Driver* VLink::driver(const std::string& method) const {
   return nullptr;
 }
 
+void VLink::set_policy(SelectionPolicy* policy) {
+  policy_ = policy != nullptr ? policy : default_policy_.get();
+}
+
 void VLink::listen(core::Port port, Driver::AcceptFn on_accept) {
+  // Validate across ALL drivers before registering with any, so a
+  // port-space collision (e.g. pstream's P ^ 0x8000 rendezvous
+  // mapping) throws with every driver's books untouched.
+  for (const auto& d : drivers_) {
+    if (!d->can_listen(port)) {
+      throw std::logic_error("vlink: driver '" + d->name() +
+                             "' cannot listen on port " +
+                             std::to_string(port) +
+                             " (port-space collision)");
+    }
+  }
   for (const auto& d : drivers_) d->listen(port, on_accept);
+  listens_[port] = std::move(on_accept);
+}
+
+void VLink::unlisten(core::Port port) {
+  // Ports listened through individual drivers are not ours to tear
+  // down: fan out only for sticky registrations made via listen().
+  if (listens_.erase(port) == 0) return;
+  for (const auto& d : drivers_) d->unlisten(port);
 }
 
 void VLink::connect(const std::string& method, const RemoteAddr& remote,
@@ -31,15 +66,25 @@ void VLink::connect(const std::string& method, const RemoteAddr& remote,
 }
 
 void VLink::connect(const RemoteAddr& remote, Driver::ConnectFn on_connect) {
-  for (const auto& d : drivers_) {
-    if (d->reaches(remote.node)) {
-      d->connect(remote, std::move(on_connect));
-      return;
-    }
+  core::Error error;
+  Driver* d = policy_->select(remote.node, &error);
+  if (!d) {
+    on_connect(core::Result<std::unique_ptr<Link>>::err(error.status,
+                                                        error.message));
+    return;
   }
-  on_connect(core::Result<std::unique_ptr<Link>>::err(
-      core::Status::unreachable,
-      "no driver reaches node " + std::to_string(remote.node)));
+  d->connect(remote, std::move(on_connect));
+}
+
+Driver* FirstReachablePolicy::select(core::NodeId dst, core::Error* error) {
+  for (const auto& d : vlink_->drivers()) {
+    if (d->reaches(dst)) return d.get();
+  }
+  if (error) {
+    *error = {core::Status::unreachable,
+              "no driver reaches node " + std::to_string(dst)};
+  }
+  return nullptr;
 }
 
 }  // namespace padico::vlink

@@ -73,6 +73,20 @@ TEST(BenchHelpers, BandwidthIsDeterministicAcrossGrids) {
   EXPECT_EQ(once(), once());
 }
 
+TEST(BenchHelpers, MakeLinkPairAutoRoutesThroughChooser) {
+  // "auto" listens on every driver and lets node 0's chooser pick the
+  // method: on the testbed that is the SAN, so the round trip stays an
+  // order of magnitude under the 50 us LAN.
+  bench::gr::Grid grid;
+  bench::attach_testbed(grid);
+  grid.build();
+  EXPECT_EQ(grid.node(0).chooser().choose(1), "madio");
+  bench::LinkPair p = bench::make_link_pair(grid, "auto", 3670);
+  ASSERT_TRUE(p.a && p.b);
+  const double lat = bench::link_latency_us(grid, p);
+  EXPECT_LT(lat, 15.0);
+}
+
 TEST(BenchHelpers, CircuitLatencyUndercutsVLinkOnMyrinet) {
   // The Table 1 ordering the circuit layer exists for: a circuit pays
   // one control header straight on its Madeleine channel, the VLink

@@ -11,6 +11,7 @@
 #include "madeleine/circuit.hpp"
 #include "madeleine/madeleine.hpp"
 #include "net/madio.hpp"
+#include "selector/selector.hpp"
 #include "simnet/simnet.hpp"
 
 namespace pc = padico::core;
@@ -220,6 +221,86 @@ std::vector<pc::SimTime> circuit_ring_run() {
 
 TEST(Determinism, CircuitRingTimestampsBitIdenticalAcrossRuns) {
   EXPECT_EQ(circuit_ring_run(), circuit_ring_run());
+}
+
+namespace {
+
+/// Two SAN clusters joined by the VTHD WAN, every connect method-less
+/// (the chooser picks): an intra-cluster ping-pong (madio) racing a
+/// cross-WAN striped transfer (pstream via the wan_method override).
+/// Returns every interesting timestamp in order.
+std::vector<pc::SimTime> auto_selection_run() {
+  gr::Grid grid;
+  grid.add_nodes(4);
+  sn::NetId sanA = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId sanB = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId wan = grid.add_network(sn::profiles::vthd_wan());
+  grid.attach(sanA, 0);
+  grid.attach(sanA, 1);
+  grid.attach(sanB, 2);
+  grid.attach(sanB, 3);
+  for (pc::NodeId i = 0; i < 4; ++i) grid.attach(wan, i);
+  gr::BuildOptions opts;
+  opts.wan_method = "pstream";
+  opts.pstream_width = 3;
+  grid.build(opts);
+
+  EXPECT_EQ(grid.node(0).chooser().choose(1), "madio");
+  EXPECT_EQ(grid.node(0).chooser().choose(2), "pstream");
+
+  std::unique_ptr<vl::Link> near_a, near_b, far_a, far_b;
+  grid.node(1).vlink().listen(
+      7200, [&](std::unique_ptr<vl::Link> l) { near_b = std::move(l); });
+  grid.node(2).vlink().listen(
+      7201, [&](std::unique_ptr<vl::Link> l) { far_b = std::move(l); });
+  grid.node(0).vlink().connect(
+      {1, 7200}, [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+        ASSERT_TRUE(r.ok()) << r.error().message;
+        near_a = std::move(*r);
+      });
+  grid.node(0).vlink().connect(
+      {2, 7201}, [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+        ASSERT_TRUE(r.ok()) << r.error().message;
+        far_a = std::move(*r);
+      });
+  grid.engine().run_while_pending(
+      [&] { return near_a && near_b && far_a && far_b; });
+
+  std::vector<pc::SimTime> stamps;
+  stamps.push_back(grid.engine().now());
+  bool near_done = false, far_done = false;
+  auto near_client = [&]() -> pc::Task {
+    for (int i = 0; i < 16; ++i) {
+      near_a->post_write(pc::view_of("x"));
+      co_await near_a->read_n(1);
+      stamps.push_back(grid.engine().now());
+    }
+    near_done = true;
+  };
+  auto near_server = [&]() -> pc::Task {
+    for (int i = 0; i < 16; ++i) {
+      pc::Bytes ball = co_await near_b->read_n(1);
+      near_b->post_write(pc::view_of(ball));
+    }
+  };
+  auto far_reader = [&]() -> pc::Task {
+    co_await far_b->read_n(120 * 1024);
+    stamps.push_back(grid.engine().now());
+    far_done = true;
+  };
+  auto t1 = near_server();
+  auto t2 = near_client();
+  auto t3 = far_reader();
+  far_a->post_write(pc::view_of(pc::Bytes(120 * 1024, 0x44)));
+  grid.engine().run_while_pending([&] { return near_done && far_done; });
+  stamps.push_back(grid.engine().now());
+  return stamps;
+}
+
+}  // namespace
+
+TEST(Determinism, TwoClusterAutoSelectionTraceBitIdenticalAcrossRuns) {
+  EXPECT_EQ(auto_selection_run(), auto_selection_run());
 }
 
 TEST(Determinism, LossyNetworkStillDeterministic) {

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "core/core.hpp"
+#include "selector/selector.hpp"
 #include "simnet/simnet.hpp"
 
 namespace pc = padico::core;
@@ -69,14 +70,72 @@ TEST(Grid, BuildIsIdempotentAndNodeBeforeBuildThrows) {
 TEST(Grid, BuildOptionsAreRecorded) {
   gr::Grid grid;
   grid.add_nodes(1);
+  // wan_method must name a method some node gets, so attach an IP net.
+  sn::NetId lan = grid.add_network(sn::profiles::ethernet100());
+  grid.attach(lan, 0);
   gr::BuildOptions opts;
   opts.wan_method = "sysio";
+  opts.pstream_width = 2;
   opts.header_combining = false;
   opts.vrp.max_loss = 0.1;
   grid.build(opts);
   EXPECT_EQ(grid.options().wan_method, "sysio");
+  EXPECT_EQ(grid.options().pstream_width, 2);
   EXPECT_FALSE(grid.options().header_combining);
   EXPECT_DOUBLE_EQ(grid.options().vrp.max_loss, 0.1);
+  // ... and it seeds every node chooser's WAN override.
+  EXPECT_EQ(grid.node(0).chooser().wan_method(), "sysio");
+}
+
+TEST(Grid, BuildValidatesPstreamWidth) {
+  for (int bad : {0, -3, 65}) {
+    gr::Grid grid;
+    grid.add_nodes(1);
+    gr::BuildOptions opts;
+    opts.pstream_width = bad;
+    EXPECT_THROW(grid.build(opts), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Grid, BuildValidatesWanMethod) {
+  gr::Grid grid;
+  attach_testbed(grid);  // SAN + LAN only: nobody registers "pstream"
+  gr::BuildOptions opts;
+  opts.wan_method = "pstream";
+  EXPECT_THROW(grid.build(opts), std::invalid_argument);
+  // Validation fires before any mutation: the grid is still un-built
+  // and a corrected retry genuinely builds (not a silent no-op).
+  EXPECT_FALSE(grid.built());
+  opts.wan_method = "sysio";
+  grid.build(opts);
+  EXPECT_TRUE(grid.built());
+  EXPECT_EQ(grid.node(0).chooser().wan_method(), "sysio");
+}
+
+TEST(Grid, WanAttachmentsGetAPstreamDriver) {
+  gr::Grid grid;
+  grid.add_nodes(2);
+  sn::NetId wan = grid.add_network(sn::profiles::vthd_wan());
+  grid.attach(wan, 0);
+  grid.attach(wan, 1);
+  grid.build();
+  vl::Driver* sysio = grid.node(0).vlink().driver("sysio");
+  vl::Driver* pstream = grid.node(0).vlink().driver("pstream");
+  ASSERT_NE(sysio, nullptr);
+  ASSERT_NE(pstream, nullptr);
+  // Affinity and caps derive from the profile, not the method name.
+  EXPECT_EQ(sysio->net_class(), padico::selector::NetClass::wan);
+  EXPECT_EQ(pstream->net_class(), padico::selector::NetClass::wan);
+  EXPECT_FALSE(sysio->has_cap(padico::selector::kCapSecure));
+  EXPECT_TRUE(pstream->has_cap(padico::selector::kCapParallel));
+  // LAN-class attachments (the testbed) get no pstream stack.
+  gr::Grid lan_grid;
+  attach_testbed(lan_grid);
+  lan_grid.build();
+  EXPECT_EQ(lan_grid.node(0).vlink().driver("pstream"), nullptr);
+  EXPECT_TRUE(
+      lan_grid.node(0).vlink().driver("madio")->has_cap(
+          padico::selector::kCapSecure));
 }
 
 TEST(Grid, MethodlessConnectPrefersFirstAttachedNetwork) {
@@ -113,10 +172,12 @@ TEST(Grid, TwoClusterTopologyRoutesAcrossWan) {
   for (pc::NodeId i = 0; i < 4; ++i) grid.attach(wan, i);
   grid.build();
 
-  // Node 0 sees its SAN and the WAN, not cluster B's SAN.
+  // Node 0 sees its SAN and the WAN (plus the WAN's pstream stack),
+  // not cluster B's SAN.
   EXPECT_NE(grid.node(0).vlink().driver("madio"), nullptr);
   EXPECT_NE(grid.node(0).vlink().driver("sysio"), nullptr);
-  EXPECT_EQ(grid.node(0).vlink().drivers().size(), 2u);
+  EXPECT_NE(grid.node(0).vlink().driver("pstream"), nullptr);
+  EXPECT_EQ(grid.node(0).vlink().drivers().size(), 3u);
 
   // Cross-cluster: only the WAN reaches node 2 from node 0.
   std::unique_ptr<vl::Link> a, b;

@@ -201,6 +201,48 @@ TEST(VLink, LinkMayOutliveDriver) {
   b.reset();
 }
 
+TEST(VLink, ListenReachesDriversRegisteredAfterTheListenCall) {
+  // Regression: a listen() used to be forwarded only to the drivers
+  // registered at the time of the call, so a late-registered driver
+  // silently never accepted.  Listens are sticky now.
+  pc::Engine engine;
+  sn::Fabric fabric{engine};
+  sn::NetId san = fabric.add_network(sn::profiles::myrinet2000());
+  sn::NetId lan = fabric.add_network(sn::profiles::ethernet100());
+  for (pc::NodeId n = 0; n < 2; ++n) {
+    fabric.attach(san, n);
+    fabric.attach(lan, n);
+  }
+  pc::Host h0(engine, 0), h1(engine, 1);
+  vl::VLink v0(h0), v1(h1);
+  v0.add_driver(std::make_unique<vl::NetDriver>(h0, fabric.network(lan), "sysio"));
+  v1.add_driver(std::make_unique<vl::NetDriver>(h1, fabric.network(san), "madio"));
+
+  int accepted = 0;
+  v1.listen(5500, [&](std::unique_ptr<vl::Link>) { ++accepted; });
+  // The LAN driver registers only after the server started listening.
+  v1.add_driver(std::make_unique<vl::NetDriver>(h1, fabric.network(lan), "sysio"));
+
+  std::unique_ptr<vl::Link> via_lan;
+  v0.connect("sysio", {1, 5500}, [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    via_lan = std::move(*r);
+  });
+  engine.run_until_idle();
+  EXPECT_TRUE(via_lan);
+  EXPECT_EQ(accepted, 1);
+
+  // unlisten() forgets the sticky registration too: a driver added
+  // afterwards must not accept.
+  v1.unlisten(5500);
+  std::optional<pc::Status> status;
+  v0.connect("sysio", {1, 5500}, [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+    status = r.status();
+  });
+  engine.run_until_idle();
+  EXPECT_EQ(status, pc::Status::refused);
+}
+
 TEST(VLink, VLinkListenAcceptsOnAllDrivers) {
   // Node with two networks: a listen() via VLink must accept from both.
   pc::Engine engine;
