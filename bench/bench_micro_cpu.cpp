@@ -94,7 +94,7 @@ void BM_CdrMarshalZeroCopy(benchmark::State& state) {
     out.put_string("object-key");
     out.put_string("method");
     out.put_octets(pc::view_of(bulk));
-    benchmark::DoNotOptimize(out.iov().total_size());
+    benchmark::DoNotOptimize(out.iov().byte_size());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));

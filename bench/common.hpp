@@ -91,6 +91,36 @@ inline MpiPair make_mpi_pair(gr::Grid& grid, padico::net::Tag tag,
   return p;
 }
 
+/// WAN variant: no common SAN across clusters, so the communicator
+/// rides one stream picked by the chooser (plain sysio or pstream) —
+/// the §5 configuration.  The returned pair has no CircuitSet.
+inline MpiPair make_mpi_wan_pair(gr::Grid& grid, pc::Port port) {
+  MpiPair p;
+  // Heap-held accept slot: the listen callback outlives this frame
+  // (it stays registered until the unlisten below).
+  auto accepted = std::make_shared<std::shared_ptr<padico::vio::Socket>>();
+  padico::vio::listen(grid.node(1).vlink(), port,
+                      [accepted](std::shared_ptr<padico::vio::Socket> s) {
+                        *accepted = std::move(s);
+                      });
+  std::shared_ptr<padico::vio::Socket> s0;
+  bool connected = false;
+  auto prog = [&]() -> pc::Task {
+    auto r = co_await padico::vio::connect(grid.node(0).vlink(), {1, port});
+    if (r.ok()) s0 = *r;
+    connected = true;
+  };
+  auto t = prog();
+  grid.engine().run_while_pending([&] { return connected && *accepted; });
+  grid.node(1).vlink().unlisten(port);
+  if (!s0 || !*accepted) {
+    throw std::runtime_error("make_mpi_wan_pair: connect failed");
+  }
+  p.c0 = std::make_unique<padico::mpi::Comm>(s0, 0, grid.engine());
+  p.c1 = std::make_unique<padico::mpi::Comm>(*accepted, 1, grid.engine());
+  return p;
+}
+
 /// One-way latency from a ping-pong of `rounds` round trips.
 inline double mpi_latency_us(gr::Grid& grid, MpiPair& p, int rounds = 32) {
   pc::SimTime t0 = 0, t1 = 0;
@@ -174,10 +204,18 @@ inline double orb_latency_us(gr::Grid& grid, OrbPair& p, int rounds = 32) {
   pc::SimTime t0 = 0, t1 = 0;
   bool done = false;
   auto prog = [&]() -> pc::Task {
-    co_await p.client->invoke(p.sink, "null", {});  // connection warm-up
+    // Calls with owning argument temporaries stay OUT of co_await
+    // full-expressions (GCC 12 coroutine gotcha; see DESIGN.md
+    // "Conventions").
+    const std::string null_method = "null";
+    pc::Completion<padico::orb::Reply> warm =
+        p.client->invoke(p.sink, null_method, {});
+    co_await warm;  // connection warm-up
     t0 = grid.engine().now();
     for (int i = 0; i < rounds; ++i) {
-      co_await p.client->invoke(p.sink, "null", {});
+      pc::Completion<padico::orb::Reply> call =
+          p.client->invoke(p.sink, null_method, {});
+      co_await call;
     }
     t1 = grid.engine().now();
     done = true;
@@ -193,7 +231,10 @@ inline double orb_bandwidth_mbps(gr::Grid& grid, OrbPair& p,
   pc::SimTime t0 = 0, t1 = 0;
   bool done = false;
   auto prog = [&]() -> pc::Task {
-    co_await p.client->invoke(p.sink, "null", {});  // warm-up
+    const std::string null_method = "null";
+    pc::Completion<padico::orb::Reply> warm =
+        p.client->invoke(p.sink, null_method, {});
+    co_await warm;  // connection warm-up
     t0 = grid.engine().now();
     pc::Bytes payload(size, 0x55);
     // Oneway-style streaming: requests pipeline freely (the marshaller

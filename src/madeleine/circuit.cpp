@@ -65,9 +65,7 @@ Circuit::Circuit(std::string name, Group group, int rank, net::Tag tag,
       port_(port),
       node_(group_.node(rank)),  // validates the rank too
       access_(&access),
-      mad_(&madeleine),
-      next_seq_(group_.size(), 0),
-      recv_seq_(group_.size(), 0) {
+      mad_(&madeleine) {
   if (node_ != mad_->host().id()) {
     throw std::invalid_argument(
         "circuit::Circuit: rank " + std::to_string(rank_) + " maps to node " +
@@ -137,7 +135,8 @@ void Circuit::end(mad::PackHandle handle) {
   // handle never burns one, so seq_gaps() genuinely stays 0 on a
   // reliable SAN.
   handle.prepend(wire::encode(net::tagged_header(
-      tag_, node_, ++next_seq_[dst_rank], wire::FrameType::data)));
+      tag_, node_, seq_.next(static_cast<int>(dst_rank)),
+      wire::FrameType::data)));
   ++sent_;
   mad_->end_packing(std::move(handle));
 }
@@ -198,11 +197,7 @@ void Circuit::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
       }
       // Contiguous per-source sequence; on a reliable SAN a gap means
       // circuit wiring can no longer be trusted.
-      std::uint64_t& expected = recv_seq_[static_cast<std::size_t>(src_rank)];
-      if (h->conn_id != ++expected) {
-        expected = h->conn_id;
-        ++seq_gaps_;
-      }
+      seq_.observe(src_rank, h->conn_id);
       ++received_;
       // Hand off to the node's I/O manager: the handler runs when the
       // arbitration pump schedules it, competing with SysIO/MadIO

@@ -46,6 +46,7 @@
 #include "core/bytes.hpp"
 #include "core/time.hpp"
 #include "madeleine/madeleine.hpp"
+#include "net/seqbook.hpp"
 #include "net/tag.hpp"
 
 namespace padico::net {
@@ -105,6 +106,11 @@ class Circuit {
   core::Port port() const noexcept { return port_; }
   std::uint8_t channel_id() const noexcept { return channel_->id; }
 
+  /// The node's NetAccess this endpoint dispatches through — the hook
+  /// the middleware personalities use to reach the engine and charge
+  /// their CPU costs next to the endpoint they ride on.
+  net::NetAccess& access() const noexcept { return *access_; }
+
   /// True once the establishment handshake has completed at this end.
   bool established() const noexcept { return established_; }
 
@@ -144,7 +150,7 @@ class Circuit {
 
   /// Data headers whose per-source sequence did not follow its
   /// predecessor.  Always 0 on a reliable SAN.
-  std::uint64_t seq_gaps() const noexcept { return seq_gaps_; }
+  std::uint64_t seq_gaps() const noexcept { return seq_.gaps(); }
 
  private:
   void on_channel_message(core::NodeId src, mad::UnpackHandle& handle);
@@ -163,15 +169,15 @@ class Circuit {
   // Liveness token shared with closures queued in the arbitration:
   // deliveries still in flight when the Circuit dies become no-ops.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  std::vector<std::uint64_t> next_seq_;   // per destination rank
-  std::vector<std::uint64_t> recv_seq_;   // per source rank
+  // Send keyed by destination rank, receive keyed by source rank
+  // (net/seqbook.hpp, the book MadIO keeps per (tag, node)).
+  net::SeqBook<int> seq_;
   std::map<int, bool> accepted_;          // root: ranks already accepted
   bool established_ = false;
   bool refused_ = false;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_ = 0;
-  std::uint64_t seq_gaps_ = 0;
 };
 
 }  // namespace padico::circuit

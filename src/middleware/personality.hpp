@@ -1,0 +1,186 @@
+// Personality: the shared base of the middleware layer (paper §3 —
+// "middleware systems run unmodified over PadicoTM").
+//
+// Every personality of the stack (MPI, CORBA ORBs, Java sockets, the
+// JVM runtime) needs the same three pieces of plumbing that MadIO, the
+// circuit layer and the pstream driver each grew privately one layer
+// down: a node to live on, a way to acquire a tagged channel of the
+// node's multiplexed SAN access, and a place to charge the CPU the
+// personality itself burns per message (marshalling, copies, JNI
+// crossings).  This class owns all three:
+//
+//   * grid-node attach — `attach(grid, node)` registers the
+//     personality in the node's registry (`node.personality(name)`,
+//     plus the typed `node.mpi()`-style slots the concrete classes
+//     publish), with the obvious error paths: attach before
+//     Grid::build(), double-attach, two personalities under one name.
+//   * tagged channel acquisition — `acquire_tag(tag)` claims a MadIO
+//     tag on the node's first SAN attachment (through the NetAccess
+//     arbitration stack), exclusively: a tag collision between two
+//     personalities throws instead of silently cross-delivering.
+//     Claims release on detach/destruction.
+//   * CostModel charging — `charge_send/charge_recv(bytes)` run the
+//     per-message CPU/copy cost through a serializing CostClock and
+//     return the virtual instant the work completes; transports
+//     schedule the actual wire activity at that instant.  This is the
+//     knob the paper's Table 1 spread (Circuit 8.4 us … Java 40 us)
+//     and Figure 3's marshaler-capped ORB curves come from.
+//
+// Units / ownership / determinism: costs are virtual nanoseconds.  A
+// Personality borrows its Engine (and, once attached, its grid Node);
+// the concrete personality owns it and must outlive any transport
+// activity it scheduled (closures guard with liveness tokens).  The
+// CostClock is plain arithmetic, so charges are bit-identical across
+// runs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/time.hpp"
+#include "net/tag.hpp"
+
+namespace padico::grid {
+class Grid;
+class Node;
+}  // namespace padico::grid
+
+namespace padico::mad {
+class UnpackHandle;
+}  // namespace padico::mad
+
+namespace padico::net {
+class MadIO;
+}  // namespace padico::net
+
+namespace padico::middleware {
+
+/// Per-message CPU cost profile of one middleware implementation.
+/// `send/recv_overhead` model the fixed per-message work (protocol
+/// headers, syscalls, JNI crossings); `copy_bytes_per_second` models a
+/// copying marshaler's per-byte pass over the payload — 0 means the
+/// implementation keeps a zero-copy path (omniORB's trick; Mico and
+/// ORBacus pay it, which is exactly what caps them in Figure 3).
+struct CostModel {
+  std::string name;
+  core::Duration send_overhead = 0;
+  core::Duration recv_overhead = 0;
+  std::uint64_t copy_bytes_per_second = 0;
+
+  core::Duration send_cost(std::size_t bytes) const {
+    return send_overhead + copy_cost(bytes);
+  }
+  core::Duration recv_cost(std::size_t bytes) const {
+    return recv_overhead + copy_cost(bytes);
+  }
+  core::Duration copy_cost(std::size_t bytes) const {
+    if (copy_bytes_per_second == 0) return 0;
+    return core::seconds(1) * bytes / copy_bytes_per_second;
+  }
+};
+
+/// Serialized virtual CPU: one personality's message processing runs
+/// one message at a time, so back-to-back charges queue behind each
+/// other — the mechanism that turns a per-byte marshal cost into a
+/// bandwidth cap.
+class CostClock {
+ public:
+  explicit CostClock(core::Engine& engine) : engine_(&engine) {}
+
+  /// Reserve `cost` of CPU starting no earlier than now; returns the
+  /// instant the work completes (monotone across calls).
+  core::SimTime reserve(core::Duration cost) {
+    const core::SimTime start = std::max(engine_->now(), free_at_);
+    free_at_ = start + cost;
+    return free_at_;
+  }
+
+  /// Instant the CPU next falls idle (now, if it already is).
+  core::SimTime free_at() const noexcept { return free_at_; }
+
+ private:
+  core::Engine* engine_;
+  core::SimTime free_at_ = 0;
+};
+
+class Personality {
+ public:
+  Personality(const Personality&) = delete;
+  Personality& operator=(const Personality&) = delete;
+  virtual ~Personality();
+
+  const std::string& name() const noexcept { return name_; }
+  const CostModel& costs() const noexcept { return costs_; }
+  core::Engine& engine() const noexcept { return *engine_; }
+
+  /// The grid node this personality is attached to; nullptr before
+  /// attach() (personalities also work free-standing, the way the
+  /// bench drivers build them).
+  grid::Node* node() const noexcept { return node_; }
+
+  /// Register on `grid`'s node `node`.  Throws std::logic_error when
+  /// the grid is not built yet, when this personality is already
+  /// attached, or when the node already carries a personality under
+  /// this name; std::out_of_range for an unknown node.  On success
+  /// `node.personality(name())` resolves to this object.
+  void attach(grid::Grid& grid, core::NodeId node);
+
+  /// Undo attach(): releases every claimed tag and unregisters from
+  /// the node (including the typed slot, via unpublish()).  A no-op
+  /// when not attached.
+  void detach() noexcept;
+
+  /// Claim exclusive use of MadIO `tag` on the attached node's first
+  /// SAN attachment and return that MadIO.  Throws std::logic_error
+  /// when not attached, when the node has no SAN attachment, or when
+  /// the tag is already claimed/handled (MadIO::claim_tag).  Claims
+  /// release on detach()/destruction.
+  net::MadIO& acquire_tag(net::Tag tag);
+
+  /// Release one claim made through acquire_tag(); no-op otherwise.
+  void release_tag(net::Tag tag) noexcept;
+
+  /// Install a handler on a tag this personality has acquired (the
+  /// owner-checked MadIO::set_handler under this personality's name;
+  /// throws std::logic_error for tags it does not own).
+  void set_tag_handler(net::Tag tag,
+                       std::function<void(core::NodeId, mad::UnpackHandle&)>
+                           handler);
+
+  /// Charge the per-message send/receive cost for `bytes` of payload
+  /// to this personality's serialized CPU; returns the completion
+  /// instant to schedule the resulting transport activity at.
+  core::SimTime charge_send(std::size_t bytes) {
+    return clock_.reserve(costs_.send_cost(bytes));
+  }
+  core::SimTime charge_recv(std::size_t bytes) {
+    return clock_.reserve(costs_.recv_cost(bytes));
+  }
+
+ protected:
+  Personality(std::string name, CostModel costs, core::Engine& engine);
+
+  /// Typed-slot hooks: concrete personalities publish themselves into
+  /// the node's `node.mpi()`-style accessor on attach and clear it on
+  /// detach.  Defaults do nothing (codec-only personalities).  A
+  /// personality that overrides unpublish() must call detach() in its
+  /// own destructor — the base destructor also detaches, but by then
+  /// the override is no longer reachable (C++ destructor dispatch).
+  virtual void publish(grid::Node& node);
+  virtual void unpublish(grid::Node& node) noexcept;
+
+ private:
+  std::string name_;
+  CostModel costs_;
+  core::Engine* engine_;
+  CostClock clock_;
+  grid::Node* node_ = nullptr;
+  std::vector<net::Tag> tags_;
+};
+
+}  // namespace padico::middleware

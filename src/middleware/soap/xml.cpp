@@ -1,0 +1,164 @@
+#include "middleware/soap/xml.hpp"
+
+namespace padico::soap {
+
+namespace {
+
+bool name_start_char(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '_' ||
+         c == ':';
+}
+
+bool name_char(char c) {
+  return name_start_char(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+void escape_into(std::string& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+}
+
+void serialize(std::string& out, const XmlNode& node) {
+  out += '<';
+  out += node.name;
+  if (node.text.empty() && node.children.empty()) {
+    out += "/>";
+    return;
+  }
+  out += '>';
+  escape_into(out, node.text);
+  for (const XmlNode& child : node.children) serialize(out, child);
+  out += "</";
+  out += node.name;
+  out += '>';
+}
+
+/// Single-pass recursive-descent parser over the document.  All state
+/// is (input, cursor); every helper leaves the cursor on the first
+/// unconsumed byte or reports failure.
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  std::optional<XmlNode> document() {
+    if (!skip_misc()) return std::nullopt;  // truncated decl/comment
+    XmlNode root;
+    if (!element(root, 0)) return std::nullopt;
+    if (!skip_misc()) return std::nullopt;
+    if (pos_ != in_.size()) return std::nullopt;  // trailing garbage
+    return root;
+  }
+
+ private:
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  bool literal(std::string_view s) {
+    if (in_.substr(pos_, s.size()) != s) return false;
+    pos_ += s.size();
+    return true;
+  }
+
+  /// Whitespace, `<?...?>` declarations and `<!--...-->` comments
+  /// around the root element.  False: truncated declaration/comment
+  /// (distinct from having consumed up to EOF, which is fine after
+  /// the root).
+  bool skip_misc() {
+    for (;;) {
+      while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                        peek() == '\r')) {
+        ++pos_;
+      }
+      if (in_.substr(pos_, 2) == "<?") {
+        const std::size_t end = in_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) return false;
+        pos_ = end + 2;
+        continue;
+      }
+      if (in_.substr(pos_, 4) == "<!--") {
+        const std::size_t end = in_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return false;
+        pos_ = end + 3;
+        continue;
+      }
+      return true;
+    }
+  }
+
+  bool name(std::string& out) {
+    if (eof() || !name_start_char(peek())) return false;
+    const std::size_t start = pos_;
+    while (!eof() && name_char(peek())) ++pos_;
+    out.assign(in_.substr(start, pos_ - start));
+    return true;
+  }
+
+  /// One predefined entity, cursor on '&'.
+  bool entity(std::string& out) {
+    if (literal("&amp;")) { out += '&'; return true; }
+    if (literal("&lt;")) { out += '<'; return true; }
+    if (literal("&gt;")) { out += '>'; return true; }
+    if (literal("&quot;")) { out += '"'; return true; }
+    if (literal("&apos;")) { out += '\''; return true; }
+    return false;
+  }
+
+  /// An element, cursor on its '<'.  Depth-limited.
+  bool element(XmlNode& out, int depth) {
+    if (depth >= kMaxDepth) return false;
+    if (eof() || peek() != '<') return false;
+    ++pos_;
+    if (!name(out.name)) return false;
+    if (literal("/>")) return true;
+    if (!literal(">")) return false;  // attributes land here: rejected
+    // Content: character data, entities and child elements, until the
+    // matching close tag.
+    for (;;) {
+      if (eof()) return false;  // truncated
+      const char c = peek();
+      if (c == '<') {
+        if (in_.substr(pos_, 2) == "</") {
+          pos_ += 2;
+          std::string close;
+          if (!name(close) || close != out.name || !literal(">")) {
+            return false;
+          }
+          return true;
+        }
+        XmlNode child;
+        if (!element(child, depth + 1)) return false;
+        out.children.push_back(std::move(child));
+      } else if (c == '&') {
+        if (!entity(out.text)) return false;
+      } else {
+        out.text += c;
+        ++pos_;
+      }
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_xml(const XmlNode& node) {
+  std::string out;
+  serialize(out, node);
+  return out;
+}
+
+std::optional<XmlNode> parse_xml(std::string_view xml) {
+  if (xml.size() > kMaxDocument) return std::nullopt;
+  return Parser(xml).document();
+}
+
+}  // namespace padico::soap

@@ -1,0 +1,52 @@
+// padico::soap — the web-services personality's XML substrate.
+//
+// The paper runs a SOAP-based monitoring/steering service over
+// PadicoTM's distributed paradigm (§3, "CORBA and SOAP for steering
+// and monitoring").  What that costs, CPU-wise, is envelope
+// construction and parsing; this header is that substrate: a tiny
+// document tree (`XmlNode`) with a serializer and a strict,
+// bounds-checked parser.  bench_micro_cpu measures the round trip in
+// real time; the wire fuzzers hammer `parse_xml` with malformed,
+// truncated and nested-bomb inputs — it must reject (nullopt), never
+// crash and never recurse unboundedly.
+//
+// Supported XML subset (all the stack emits): elements, character
+// data, the five predefined entities, self-closing tags, leading
+// `<?xml ...?>` declarations and `<!-- -->` comments.  No attributes,
+// CDATA or DTDs — `to_xml` never produces them and `parse_xml`
+// rejects them, which is the safe side of the fuzz contract.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace padico::soap {
+
+/// Maximum element nesting `parse_xml` accepts (nested-bomb guard).
+inline constexpr int kMaxDepth = 64;
+
+/// Maximum document size `parse_xml` accepts (1 MiB; the envelopes of
+/// the monitoring personality are hundreds of bytes).
+inline constexpr std::size_t kMaxDocument = 1u << 20;
+
+struct XmlNode {
+  std::string name;
+  std::string text;
+  std::vector<XmlNode> children;
+
+  friend bool operator==(const XmlNode&, const XmlNode&) = default;
+};
+
+/// Serialize `node` (entity-escaping the character data); the inverse
+/// of parse_xml for every tree with a valid element name.
+std::string to_xml(const XmlNode& node);
+
+/// Parse one XML document.  Returns nullopt for anything outside the
+/// subset above: malformed or truncated markup, mismatched tags,
+/// invalid names, unknown entities, depth beyond kMaxDepth, size
+/// beyond kMaxDocument, or trailing garbage.
+std::optional<XmlNode> parse_xml(std::string_view xml);
+
+}  // namespace padico::soap

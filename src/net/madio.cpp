@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <memory>
+#include <stdexcept>
 
 namespace padico::net {
 
@@ -20,7 +21,46 @@ MadIO::MadIO(NetAccess& access, mad::Madeleine& madeleine,
 void MadIO::open_logical(Tag tag) { handlers_.try_emplace(tag); }
 
 void MadIO::set_handler(Tag tag, Handler handler) {
+  auto oit = owners_.find(tag);
+  if (oit != owners_.end()) {
+    throw std::logic_error("MadIO::set_handler(): tag " +
+                           std::to_string(tag) + " is claimed by '" +
+                           oit->second + "'");
+  }
   handlers_[tag] = std::move(handler);
+}
+
+void MadIO::set_handler(Tag tag, const std::string& owner, Handler handler) {
+  auto oit = owners_.find(tag);
+  if (oit == owners_.end() || oit->second != owner) {
+    throw std::logic_error("MadIO::set_handler(): tag " +
+                           std::to_string(tag) + " is not claimed by '" +
+                           owner + "'");
+  }
+  handlers_[tag] = std::move(handler);
+}
+
+void MadIO::claim_tag(Tag tag, const std::string& owner) {
+  auto oit = owners_.find(tag);
+  if (oit != owners_.end()) {
+    throw std::logic_error("MadIO::claim_tag(): tag " + std::to_string(tag) +
+                           " already claimed by '" + oit->second + "'");
+  }
+  auto hit = handlers_.find(tag);
+  if (hit != handlers_.end() && hit->second) {
+    throw std::logic_error("MadIO::claim_tag(): tag " + std::to_string(tag) +
+                           " already carries a handler");
+  }
+  owners_.emplace(tag, owner);
+}
+
+void MadIO::release_tag(Tag tag) noexcept {
+  if (owners_.erase(tag) != 0) handlers_.erase(tag);
+}
+
+const std::string* MadIO::tag_owner(Tag tag) const noexcept {
+  auto it = owners_.find(tag);
+  return it == owners_.end() ? nullptr : &it->second;
 }
 
 bool MadIO::reaches(core::NodeId node) const {
@@ -30,9 +70,10 @@ bool MadIO::reaches(core::NodeId node) const {
 core::Bytes MadIO::make_header(Tag tag, core::NodeId dst,
                                wire::FrameType type) {
   // Per-(tag, destination) stream sequence; shared header shape with
-  // the circuit layer (net/tag.hpp).
+  // the circuit layer (net/tag.hpp), shared book with it too
+  // (net/seqbook.hpp).
   return wire::encode(
-      tagged_header(tag, mad_->host().id(), ++next_seq_[{tag, dst}], type));
+      tagged_header(tag, mad_->host().id(), seq_.next({tag, dst}), type));
 }
 
 mad::PackHandle MadIO::begin(Tag tag, core::NodeId dst) {
@@ -90,11 +131,7 @@ void MadIO::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
   }
   // The sender stamps a contiguous per-(tag, destination) sequence into
   // conn_id; on a reliable SAN it must arrive gap-free.
-  std::uint64_t& expected = recv_seq_[{h->dst_port, src}];
-  if (h->conn_id != ++expected) {
-    expected = h->conn_id;
-    ++seq_gaps_;
-  }
+  seq_.observe({h->dst_port, src}, h->conn_id);
   if (h->type == wire::FrameType::header) {
     pending_[src] = *h;  // payload message follows on the same FIFO
     return;

@@ -29,10 +29,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <utility>
 
 #include "madeleine/madeleine.hpp"
 #include "net/netaccess.hpp"
+#include "net/seqbook.hpp"
 #include "net/tag.hpp"
 #include "vlink/wire.hpp"
 
@@ -58,7 +60,32 @@ class MadIO {
   /// implicitly; receiving on a tag with no handler counts as dropped.
   void open_logical(Tag tag);
 
+  /// Install (or clear) the handler of an unclaimed tag.  Throws
+  /// std::logic_error for a claimed tag — the exclusivity claim_tag
+  /// promises cuts both ways; the owner installs through the
+  /// owner-checked overload below.
   void set_handler(Tag tag, Handler handler);
+
+  /// Handler installation on a claimed tag: `owner` must match the
+  /// claim (throws std::logic_error otherwise, including when the tag
+  /// is not claimed at all).
+  void set_handler(Tag tag, const std::string& owner, Handler handler);
+
+  /// Claim exclusive use of `tag` for `owner` (a middleware
+  /// personality name).  Throws std::logic_error if the tag is already
+  /// claimed, or already carries a handler someone else installed (the
+  /// vlink adapter's kVLinkTag, a raw set_handler user) — the caller
+  /// must pick another tag, nothing is mutated.  A successful claim
+  /// does not install a handler; the owner follows up with the
+  /// owner-checked set_handler.
+  void claim_tag(Tag tag, const std::string& owner);
+
+  /// Drop the claim and any handler on `tag`; the tag becomes
+  /// claimable again.  A no-op for unclaimed tags.
+  void release_tag(Tag tag) noexcept;
+
+  /// Name the claim on `tag` was registered under, or nullptr.
+  const std::string* tag_owner(Tag tag) const noexcept;
 
   /// Open a message on `tag` towards `dst`.  With combining on, the
   /// control header is already packed as the first segment.
@@ -83,7 +110,7 @@ class MadIO {
   /// Control headers whose per-(tag, source) sequence number did not
   /// follow its predecessor.  Always 0 on a reliable SAN; a nonzero
   /// count means header/payload pairing can no longer be trusted.
-  std::uint64_t seq_gaps() const noexcept { return seq_gaps_; }
+  std::uint64_t seq_gaps() const noexcept { return seq_.gaps(); }
 
  private:
   void on_channel_message(core::NodeId src, mad::UnpackHandle& handle);
@@ -96,12 +123,12 @@ class MadIO {
   mad::Channel* channel_;
   bool combining_;
   std::map<Tag, Handler> handlers_;
-  std::map<std::pair<Tag, core::NodeId>, std::uint64_t> next_seq_;
-  std::map<std::pair<Tag, core::NodeId>, std::uint64_t> recv_seq_;
+  std::map<Tag, std::string> owners_;  // claimed tags (claim_tag)
+  // Send keyed (tag, destination), receive keyed (tag, source).
+  SeqBook<std::pair<Tag, core::NodeId>> seq_;
   // Combining off: control header seen, payload message still due.
   std::map<core::NodeId, vlink::wire::Header> pending_;
   std::uint64_t dropped_ = 0;
-  std::uint64_t seq_gaps_ = 0;
 };
 
 }  // namespace padico::net

@@ -1,0 +1,51 @@
+// SeqBook: per-peer contiguous sequence numbering, the bookkeeping
+// every tag-multiplexed layer of the stack used to reimplement.
+//
+// MadIO stamps a per-(tag, destination) sequence into each control
+// header, the circuit layer a per-rank one, and the MPI personality a
+// per-(rank, tag) one; on the receive side all three must detect the
+// same condition — "this peer's stream skipped a number" — which on a
+// reliable SAN means wiring can no longer be trusted.  SeqBook owns
+// both sides: `next()` hands out the sender's contiguous numbers,
+// `observe()` verifies the receiver's and counts gaps (resyncing so
+// one loss is one gap, not a gap per subsequent message).
+//
+// Units / ownership / determinism: pure bookkeeping, no clocks.  Keys
+// live in ordered maps, so iteration-order effects can never creep
+// into dispatch traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace padico::net {
+
+template <typename Key>
+class SeqBook {
+ public:
+  /// Next sequence number of the stream keyed `k` (first call: 1).
+  std::uint64_t next(const Key& k) { return ++next_[k]; }
+
+  /// Record `seq` arriving on the stream keyed `k`.  Returns true when
+  /// it follows its predecessor; otherwise counts one gap, resyncs the
+  /// expectation to `seq`, and returns false.
+  bool observe(const Key& k, std::uint64_t seq) {
+    std::uint64_t& expected = recv_[k];
+    if (seq != ++expected) {
+      expected = seq;
+      ++gaps_;
+      return false;
+    }
+    return true;
+  }
+
+  /// Observed discontinuities across every stream of this book.
+  std::uint64_t gaps() const noexcept { return gaps_; }
+
+ private:
+  std::map<Key, std::uint64_t> next_;
+  std::map<Key, std::uint64_t> recv_;
+  std::uint64_t gaps_ = 0;
+};
+
+}  // namespace padico::net

@@ -1,0 +1,107 @@
+// VIO: the virtual socket shim (paper §3.2's "virtual file descriptor"
+// layer) — read/write/connect/listen with socket shapes, routed
+// through the node's VLink and therefore through its topology-aware
+// chooser.  A personality written against VIO does not know (or care)
+// whether its bytes ride MadIO inside the cluster, plain sysio on the
+// LAN, or parallel streams across a WAN — exactly how PadicoTM runs
+// unmodified socket-based middleware over whatever network is there.
+//
+// The Java-socket personality and the ORB connections are built on
+// this shim; it adds no virtual time of its own (costs belong to the
+// personalities, the wire to the layers below).
+//
+// Ownership: a Socket owns its vlink::Link.  The usual lifetime rule
+// of the stack applies — a continuation resumed by a read must not
+// destroy the socket it just read from; hold it across the await.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/bytes.hpp"
+#include "core/result.hpp"
+#include "core/task.hpp"
+#include "vlink/vlink.hpp"
+
+namespace padico::vio {
+
+/// A connected virtual socket over one vlink Link.
+class Socket {
+ public:
+  explicit Socket(std::unique_ptr<vlink::Link> link)
+      : link_(std::move(link)) {}
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  vlink::Link& link() noexcept { return *link_; }
+  core::NodeId remote_node() const noexcept { return link_->remote_node(); }
+
+  /// vio_write: queue `data` on the stream and return immediately (the
+  /// wire paces delivery in virtual time, like every vlink write).
+  void write(core::ByteView data) { link_->post_write(data); }
+
+  /// Gather variant: the segments travel as one wire message.
+  void write(const core::IoVec& iov) { link_->post_write(iov); }
+
+  /// vio_read: await exactly `n` bytes from the stream.
+  core::Completion<core::Bytes> read_n(std::size_t n) {
+    return link_->read_n(n);
+  }
+
+  /// Bytes buffered and not yet claimed by a read.
+  std::size_t available() const noexcept { return link_->available(); }
+
+ private:
+  std::unique_ptr<vlink::Link> link_;
+};
+
+using AcceptFn = std::function<void(std::shared_ptr<Socket>)>;
+using ConnectResult = core::Result<std::shared_ptr<Socket>>;
+
+/// vio_listen + vio_accept: accept on `port` via every driver of the
+/// node (the server does not care which network the peer arrives on).
+inline void listen(vlink::VLink& vlink, core::Port port, AcceptFn on_accept) {
+  vlink.listen(port, [on_accept = std::move(on_accept)](
+                         std::unique_ptr<vlink::Link> l) {
+    on_accept(std::make_shared<Socket>(std::move(l)));
+  });
+}
+
+/// vio_connect: open a socket to `remote` through the node's selection
+/// policy (the chooser, on a grid) — the personality never names a
+/// driver.  Awaitable; completes with the socket or the connect error.
+inline core::Completion<ConnectResult> connect(vlink::VLink& vlink,
+                                               vlink::RemoteAddr remote) {
+  core::Completion<ConnectResult> done;
+  vlink.connect(remote,
+                [done](core::Result<std::unique_ptr<vlink::Link>> r) mutable {
+                  if (r.ok()) {
+                    done.complete(std::make_shared<Socket>(std::move(*r)));
+                  } else {
+                    done.complete(r.error());
+                  }
+                });
+  return done;
+}
+
+/// vio_connect with an explicit method (diagnostics / benches that pin
+/// a paradigm); empty `method` falls back to the chooser.
+inline core::Completion<ConnectResult> connect(vlink::VLink& vlink,
+                                               const std::string& method,
+                                               vlink::RemoteAddr remote) {
+  if (method.empty()) return connect(vlink, remote);
+  core::Completion<ConnectResult> done;
+  vlink.connect(method, remote,
+                [done](core::Result<std::unique_ptr<vlink::Link>> r) mutable {
+                  if (r.ok()) {
+                    done.complete(std::make_shared<Socket>(std::move(*r)));
+                  } else {
+                    done.complete(r.error());
+                  }
+                });
+  return done;
+}
+
+}  // namespace padico::vio

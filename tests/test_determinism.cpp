@@ -10,6 +10,8 @@
 #include "grid/grid.hpp"
 #include "madeleine/circuit.hpp"
 #include "madeleine/madeleine.hpp"
+#include "middleware/corba/orb.hpp"
+#include "middleware/mpi/mpi.hpp"
 #include "net/madio.hpp"
 #include "selector/selector.hpp"
 #include "simnet/simnet.hpp"
@@ -301,6 +303,94 @@ std::vector<pc::SimTime> auto_selection_run() {
 
 TEST(Determinism, TwoClusterAutoSelectionTraceBitIdenticalAcrossRuns) {
   EXPECT_EQ(auto_selection_run(), auto_selection_run());
+}
+
+namespace {
+
+/// Personality traffic on a 2-cluster grid, method-less end to end: an
+/// MPI ping-pong inside cluster A (SAN circuit, mad substrate) races
+/// CORBA invocations from cluster B into cluster A across the WAN
+/// (chooser-picked sysio, sys substrate).  Returns the event digest —
+/// every interesting timestamp in order, plus the engine event count.
+std::vector<pc::SimTime> personality_run() {
+  gr::Grid grid;
+  grid.add_nodes(4);
+  sn::NetId sanA = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId sanB = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId wan = grid.add_network(sn::profiles::vthd_wan());
+  grid.attach(sanA, 0);
+  grid.attach(sanA, 1);
+  grid.attach(sanB, 2);
+  grid.attach(sanB, 3);
+  for (pc::NodeId i = 0; i < 4; ++i) grid.attach(wan, i);
+  grid.build();
+
+  gr::CircuitSet set =
+      grid.make_circuit("det-mpi", padico::circuit::Group({0, 1}), 0x60, 7300);
+  padico::mpi::Comm c0(set.at(0)), c1(set.at(1));
+  c0.attach(grid, 0);
+  c1.attach(grid, 1);
+
+  padico::orb::Orb server(grid.node(0).host(), grid.node(0).vlink(),
+                          padico::orb::profiles::omniorb4(), 7310);
+  server.activate("monitor", [](const std::string&,
+                                std::vector<padico::orb::Any> args) {
+    return args;
+  });
+  server.start();
+  server.attach(grid, 0);
+  padico::orb::Orb client(grid.node(2).host(), grid.node(2).vlink(),
+                          padico::orb::profiles::omniorb4(), 7311);
+  client.attach(grid, 2);
+
+  std::vector<pc::SimTime> stamps;
+  bool mpi_done = false, orb_done = false;
+  auto mpi_rank1 = [&]() -> pc::Task {
+    for (int i = 0; i < 12; ++i) {
+      pc::Bytes b = co_await c1.recv(0, 5);
+      c1.isend(0, 5, pc::view_of(b));
+    }
+  };
+  auto mpi_rank0 = [&]() -> pc::Task {
+    pc::Bytes ball(256, 0x5A);
+    for (int i = 0; i < 12; ++i) {
+      co_await c0.sendrecv(1, 5, pc::view_of(ball), 1, 5);
+      stamps.push_back(grid.engine().now());
+    }
+    mpi_done = true;
+  };
+  auto orb_client = [&]() -> pc::Task {
+    // invoke() calls stay out of co_await full-expressions (GCC 12
+    // coroutine gotcha; see DESIGN.md "Conventions").
+    const padico::orb::ObjectRef ref = server.ref_of("monitor");
+    const std::string probe_m = "probe";
+    for (int i = 0; i < 8; ++i) {
+      std::vector<padico::orb::Any> args;
+      args.emplace_back(pc::Bytes(512, 0x33));
+      auto call = client.invoke(ref, probe_m, std::move(args));
+      co_await call;
+      stamps.push_back(grid.engine().now());
+    }
+    orb_done = true;
+  };
+  auto t1 = mpi_rank1();
+  auto t2 = mpi_rank0();
+  auto t3 = orb_client();
+  grid.engine().run_while_pending([&] { return mpi_done && orb_done; });
+
+  EXPECT_EQ(c0.seq_gaps(), 0u);
+  EXPECT_EQ(c1.seq_gaps(), 0u);
+  EXPECT_EQ(server.protocol_errors(), 0u);
+  EXPECT_EQ(grid.node(0).mpi(), &c0);  // registry survives the run
+  stamps.push_back(grid.engine().now());
+  stamps.push_back(grid.engine().processed());
+  return stamps;
+}
+
+}  // namespace
+
+TEST(Determinism, PersonalityTrafficDigestBitIdenticalAcrossRuns) {
+  EXPECT_EQ(personality_run(), personality_run());
 }
 
 TEST(Determinism, LossyNetworkStillDeterministic) {

@@ -1,0 +1,677 @@
+// The middleware personalities layer: the Personality base (attach /
+// tagged-channel acquisition / CostModel charging, with every error
+// path), the VIO socket shim, and the MPI / CORBA / Java-socket / SOAP
+// personalities end to end on the paper testbed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "middleware/corba/cdr.hpp"
+#include "middleware/corba/orb.hpp"
+#include "middleware/javasock/jsock.hpp"
+#include "middleware/mpi/mpi.hpp"
+#include "middleware/personality.hpp"
+#include "middleware/soap/xml.hpp"
+#include "net/madio.hpp"
+#include "personalities/vio.hpp"
+#include "simnet/simnet.hpp"
+
+namespace pc = padico::core;
+namespace sn = padico::simnet;
+namespace gr = padico::grid;
+namespace mw = padico::middleware;
+
+namespace {
+
+/// Concrete personality for exercising the base class directly.
+class TestPersonality : public mw::Personality {
+ public:
+  TestPersonality(std::string name, pc::Engine& engine,
+                  mw::CostModel costs = {})
+      : Personality(std::move(name), std::move(costs), engine) {}
+
+  using Personality::charge_recv;
+  using Personality::charge_send;
+};
+
+void build_testbed(gr::Grid& grid, int nodes = 2) {
+  grid.add_nodes(nodes);
+  sn::NetId san = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId lan = grid.add_network(sn::profiles::ethernet100());
+  for (int i = 0; i < nodes; ++i) {
+    grid.attach(san, static_cast<pc::NodeId>(i));
+    grid.attach(lan, static_cast<pc::NodeId>(i));
+  }
+  grid.build();
+}
+
+// --- Personality base: attach / acquisition error paths --------------------
+
+TEST(Personality, AttachBeforeBuildThrows) {
+  gr::Grid grid;
+  grid.add_nodes(2);
+  TestPersonality p("p", grid.engine());
+  EXPECT_THROW(p.attach(grid, 0), std::logic_error);
+  EXPECT_EQ(p.node(), nullptr);
+}
+
+TEST(Personality, AttachUnknownNodeThrows) {
+  gr::Grid grid;
+  build_testbed(grid);
+  TestPersonality p("p", grid.engine());
+  EXPECT_THROW(p.attach(grid, 7), std::out_of_range);
+}
+
+TEST(Personality, DoubleAttachThrows) {
+  gr::Grid grid;
+  build_testbed(grid);
+  TestPersonality p("p", grid.engine());
+  p.attach(grid, 0);
+  EXPECT_THROW(p.attach(grid, 1), std::logic_error);
+  EXPECT_EQ(p.node()->id(), 0u);  // still on the first node
+}
+
+TEST(Personality, NameCollisionOnOneNodeThrows) {
+  gr::Grid grid;
+  build_testbed(grid);
+  TestPersonality a("shared-name", grid.engine());
+  TestPersonality b("shared-name", grid.engine());
+  a.attach(grid, 0);
+  EXPECT_THROW(b.attach(grid, 0), std::logic_error);
+  b.attach(grid, 1);  // other nodes are fine
+  EXPECT_EQ(grid.node(0).personality("shared-name"), &a);
+  EXPECT_EQ(grid.node(1).personality("shared-name"), &b);
+}
+
+TEST(Personality, RegistryClearsOnDetachAndDestruction) {
+  gr::Grid grid;
+  build_testbed(grid);
+  {
+    TestPersonality a("a", grid.engine());
+    a.attach(grid, 0);
+    EXPECT_EQ(grid.node(0).personality("a"), &a);
+    a.detach();
+    EXPECT_EQ(grid.node(0).personality("a"), nullptr);
+    a.attach(grid, 0);  // re-attach after detach is fine
+  }
+  EXPECT_EQ(grid.node(0).personality("a"), nullptr);  // ~Personality detached
+}
+
+TEST(Personality, AcquireTagBeforeAttachThrows) {
+  gr::Grid grid;
+  build_testbed(grid);
+  TestPersonality p("p", grid.engine());
+  EXPECT_THROW(p.acquire_tag(0x40), std::logic_error);
+}
+
+TEST(Personality, AcquireTagWithoutSanThrows) {
+  gr::Grid grid;
+  grid.add_nodes(1);
+  sn::NetId lan = grid.add_network(sn::profiles::ethernet100());
+  grid.attach(lan, 0);
+  grid.build();
+  TestPersonality p("p", grid.engine());
+  p.attach(grid, 0);
+  EXPECT_THROW(p.acquire_tag(0x40), std::logic_error);
+}
+
+TEST(Personality, TagCollisionBetweenPersonalitiesThrows) {
+  gr::Grid grid;
+  build_testbed(grid);
+  TestPersonality a("a", grid.engine());
+  TestPersonality b("b", grid.engine());
+  a.attach(grid, 0);
+  b.attach(grid, 0);
+  a.acquire_tag(0x40);
+  EXPECT_THROW(b.acquire_tag(0x40), std::logic_error);
+  b.acquire_tag(0x41);  // a different tag is fine
+  ASSERT_NE(grid.node(0).madio()->tag_owner(0x40), nullptr);
+  EXPECT_EQ(*grid.node(0).madio()->tag_owner(0x40), "a");
+}
+
+TEST(Personality, ClaimingTheVLinkAdapterTagThrows) {
+  gr::Grid grid;
+  build_testbed(grid);
+  TestPersonality p("p", grid.engine());
+  p.attach(grid, 0);
+  // The MadIODriver installed a handler on kVLinkTag at build time.
+  EXPECT_THROW(p.acquire_tag(padico::net::MadIO::kVLinkTag),
+               std::logic_error);
+}
+
+TEST(Personality, ClaimedTagsRejectForeignHandlers) {
+  gr::Grid grid;
+  build_testbed(grid);
+  TestPersonality a("a", grid.engine());
+  a.attach(grid, 0);
+  padico::net::MadIO& io = a.acquire_tag(0x40);
+  // The exclusivity cuts both ways: no raw handler on a claimed tag...
+  EXPECT_THROW(io.set_handler(0x40, [](pc::NodeId, padico::mad::UnpackHandle&) {}),
+               std::logic_error);
+  // ...no owner-checked install under the wrong name...
+  EXPECT_THROW(
+      io.set_handler(0x40, "b", [](pc::NodeId, padico::mad::UnpackHandle&) {}),
+      std::logic_error);
+  // ...and no owner-checked install on an unclaimed tag.
+  EXPECT_THROW(
+      io.set_handler(0x41, "a", [](pc::NodeId, padico::mad::UnpackHandle&) {}),
+      std::logic_error);
+  // The owner installs through its personality.
+  a.set_tag_handler(0x40, [](pc::NodeId, padico::mad::UnpackHandle&) {});
+  EXPECT_THROW(a.set_tag_handler(0x41, {}), std::logic_error);  // not acquired
+  a.release_tag(0x40);
+  io.set_handler(0x40, {});  // released tags are raw again
+}
+
+TEST(Personality, FailedPublishUnwindsAttachCompletely) {
+  gr::Grid grid;
+  build_testbed(grid);
+  auto set = grid.make_circuit("mpi", padico::circuit::Group({0, 1}), 0x52,
+                               5140);
+  // Another personality already owns the circuit's tag on node 0, so
+  // the Comm's attach must fail...
+  TestPersonality squatter("squatter", grid.engine());
+  squatter.attach(grid, 0);
+  squatter.acquire_tag(0x52);
+  padico::mpi::Comm c0(set.at(0));
+  EXPECT_THROW(c0.attach(grid, 0), std::logic_error);
+  // ...and leave no trace: no registry entry, no typed slot, and the
+  // Comm is re-attachable once the tag frees up.
+  EXPECT_EQ(grid.node(0).personality("mpi"), nullptr);
+  EXPECT_EQ(grid.node(0).mpi(), nullptr);
+  EXPECT_EQ(c0.node(), nullptr);
+  squatter.release_tag(0x52);
+  c0.attach(grid, 0);
+  EXPECT_EQ(grid.node(0).mpi(), &c0);
+}
+
+TEST(Personality, ReleaseAndDetachFreeTags) {
+  gr::Grid grid;
+  build_testbed(grid);
+  TestPersonality a("a", grid.engine());
+  TestPersonality b("b", grid.engine());
+  a.attach(grid, 0);
+  b.attach(grid, 0);
+  a.acquire_tag(0x40);
+  a.release_tag(0x40);
+  b.acquire_tag(0x40);  // explicit release frees the tag
+  b.detach();
+  a.acquire_tag(0x40);  // detach released b's claim
+  EXPECT_THROW(a.acquire_tag(0x40), std::logic_error);  // even from itself
+}
+
+TEST(Personality, CostModelMath) {
+  mw::CostModel zero_copy{"zc", pc::microseconds(2), pc::microseconds(3), 0};
+  EXPECT_EQ(zero_copy.send_cost(1 << 20), pc::microseconds(2));
+  EXPECT_EQ(zero_copy.recv_cost(1 << 20), pc::microseconds(3));
+
+  mw::CostModel copying{"cp", pc::microseconds(2), pc::microseconds(3),
+                        50'000'000};  // 50 MB/s marshal pass
+  // 1 MB at 50 MB/s is ~21 ms of copy on top of the fixed overhead.
+  EXPECT_EQ(copying.copy_cost(50'000'000), pc::seconds(1));
+  EXPECT_EQ(copying.send_cost(500'000),
+            pc::microseconds(2) + pc::milliseconds(10));
+}
+
+TEST(Personality, CostClockSerializesCharges) {
+  pc::Engine engine;
+  mw::CostClock clock(engine);
+  const pc::SimTime a = clock.reserve(pc::microseconds(5));
+  const pc::SimTime b = clock.reserve(pc::microseconds(5));
+  EXPECT_EQ(a, pc::microseconds(5));
+  EXPECT_EQ(b, pc::microseconds(10));  // queued behind the first charge
+}
+
+// --- VIO --------------------------------------------------------------------
+
+TEST(Vio, ConnectThroughChooserAndEcho) {
+  gr::Grid grid;
+  build_testbed(grid);
+  std::shared_ptr<padico::vio::Socket> server;
+  padico::vio::listen(grid.node(1).vlink(), 5000,
+                      [&](std::shared_ptr<padico::vio::Socket> s) {
+                        server = std::move(s);
+                      });
+  std::shared_ptr<padico::vio::Socket> client;
+  bool echoed = false;
+  auto prog = [&]() -> pc::Task {
+    auto r = co_await padico::vio::connect(grid.node(0).vlink(), {1, 5000});
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    client = *r;
+    client->write(pc::view_of("ping!"));
+    pc::Bytes back = co_await client->read_n(5);
+    EXPECT_EQ(std::string(back.begin(), back.end()), "PING!");
+    echoed = true;
+  };
+  auto srv = [&]() -> pc::Task {
+    while (!server) co_await pc::sleep_for(grid.engine(), 100);
+    pc::Bytes req = co_await server->read_n(5);
+    for (auto& b : req) b = static_cast<std::uint8_t>(std::toupper(b));
+    server->write(pc::view_of(req));
+  };
+  auto t1 = srv();
+  auto t2 = prog();
+  grid.engine().run_while_pending([&] { return echoed; });
+  EXPECT_TRUE(echoed);
+}
+
+TEST(Vio, ConnectToSilentPortIsRefused) {
+  gr::Grid grid;
+  build_testbed(grid);
+  bool failed = false;
+  auto prog = [&]() -> pc::Task {
+    auto r = co_await padico::vio::connect(grid.node(0).vlink(), {1, 5999});
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status(), pc::Status::refused);
+    failed = true;
+  };
+  auto t = prog();
+  grid.engine().run_while_pending([&] { return failed; });
+  EXPECT_TRUE(failed);
+}
+
+// --- MPI --------------------------------------------------------------------
+
+TEST(Mpi, PingPongLatencyMatchesMpichProfile) {
+  gr::Grid grid;
+  build_testbed(grid);
+  auto set = grid.make_circuit("mpi", padico::circuit::Group({0, 1}), 0x52,
+                               5100);
+  padico::mpi::Comm c0(set.at(0)), c1(set.at(1));
+  EXPECT_EQ(c0.rank(), 0);
+  EXPECT_EQ(c0.size(), 2);
+  const int rounds = 16;
+  pc::SimTime t0 = 0, t1 = 0;
+  bool done = false;
+  auto rank0 = [&]() -> pc::Task {
+    pc::Bytes ping(1, 0);
+    t0 = grid.engine().now();
+    for (int i = 0; i < rounds; ++i) {
+      c0.isend(1, 0, pc::view_of(ping));
+      co_await c0.recv(1, 0);
+    }
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto rank1 = [&]() -> pc::Task {
+    pc::Bytes pong(1, 0);
+    for (int i = 0; i < rounds; ++i) {
+      co_await c1.recv(0, 0);
+      c1.isend(0, 0, pc::view_of(pong));
+    }
+  };
+  auto ta = rank1();
+  auto tb = rank0();
+  grid.engine().run_while_pending([&] { return done; });
+  ASSERT_TRUE(done);
+  const double one_way = pc::to_micros(t1 - t0) / (2.0 * rounds);
+  // Paper Table 1: 12.06 us for MPICH-1.2.5 over Myrinet-2000.
+  EXPECT_GT(one_way, 9.0);
+  EXPECT_LT(one_way, 15.0);
+  EXPECT_EQ(c0.seq_gaps(), 0u);
+  EXPECT_EQ(c1.seq_gaps(), 0u);
+  EXPECT_EQ(c1.dropped(), 0u);
+  EXPECT_EQ(c1.messages_received(), static_cast<std::uint64_t>(rounds));
+}
+
+TEST(Mpi, ShortForeignFramesAreCountedDropped) {
+  gr::Grid grid;
+  build_testbed(grid);
+  auto set = grid.make_circuit("mpi", padico::circuit::Group({0, 1}), 0x52,
+                               5115);
+  padico::mpi::Comm c1(set.at(1));
+  // A miswired sender pushes a bare 1-byte circuit message (no MPI
+  // envelope) onto the communicator's circuit.
+  set.at(0).send(1, pc::view_of("x"));
+  grid.engine().run_until_idle();
+  EXPECT_EQ(c1.dropped(), 1u);
+  EXPECT_EQ(c1.messages_received(), 0u);
+}
+
+TEST(Mpi, UnexpectedMessagesQueuePerSourceAndTag) {
+  gr::Grid grid;
+  build_testbed(grid);
+  auto set = grid.make_circuit("mpi", padico::circuit::Group({0, 1}), 0x52,
+                               5110);
+  padico::mpi::Comm c0(set.at(0)), c1(set.at(1));
+  // Three sends on two tags land before any recv is posted.
+  c0.isend(1, 7, pc::view_of("a"));
+  c0.isend(1, 7, pc::view_of("b"));
+  c0.isend(1, 9, pc::view_of("c"));
+  grid.engine().run_until_idle();
+  std::vector<std::string> got;
+  bool done = false;
+  auto prog = [&]() -> pc::Task {
+    pc::Bytes m1 = co_await c1.recv(0, 7);
+    pc::Bytes m2 = co_await c1.recv(0, 9);
+    pc::Bytes m3 = co_await c1.recv(0, 7);
+    got = {std::string(m1.begin(), m1.end()),
+           std::string(m2.begin(), m2.end()),
+           std::string(m3.begin(), m3.end())};
+    done = true;
+  };
+  auto t = prog();
+  grid.engine().run_while_pending([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "c", "b"}));  // FIFO per tag
+}
+
+TEST(Mpi, SendCompletesAndSendrecvExchanges) {
+  gr::Grid grid;
+  build_testbed(grid);
+  auto set = grid.make_circuit("mpi", padico::circuit::Group({0, 1}), 0x52,
+                               5120);
+  padico::mpi::Comm c0(set.at(0)), c1(set.at(1));
+  bool done0 = false, done1 = false;
+  auto rank0 = [&]() -> pc::Task {
+    co_await c0.send(1, 1, pc::view_of("blocking"));
+    pc::Bytes back = co_await c0.sendrecv(1, 2, pc::view_of("swap"), 1, 3);
+    EXPECT_EQ(std::string(back.begin(), back.end()), "swapped");
+    done0 = true;
+  };
+  auto rank1 = [&]() -> pc::Task {
+    pc::Bytes a = co_await c1.recv(0, 1);
+    EXPECT_EQ(a.size(), 8u);
+    co_await c1.recv(0, 2);
+    c1.isend(0, 3, pc::view_of("swapped"));
+    done1 = true;
+  };
+  auto ta = rank1();
+  auto tb = rank0();
+  grid.engine().run_while_pending([&] { return done0 && done1; });
+  EXPECT_TRUE(done0);
+  EXPECT_TRUE(done1);
+}
+
+TEST(Mpi, AttachPublishesNodeAccessorAndClaimsTag) {
+  gr::Grid grid;
+  build_testbed(grid);
+  auto set = grid.make_circuit("mpi", padico::circuit::Group({0, 1}), 0x52,
+                               5130);
+  {
+    padico::mpi::Comm c0(set.at(0));
+    c0.attach(grid, 0);
+    EXPECT_EQ(grid.node(0).mpi(), &c0);
+    EXPECT_EQ(grid.node(0).personality("mpi"), &c0);
+    // The circuit's tag is now reserved for the MPI personality.
+    ASSERT_NE(grid.node(0).madio()->tag_owner(0x52), nullptr);
+    EXPECT_EQ(*grid.node(0).madio()->tag_owner(0x52), "mpi");
+    // A second personality wanting the same tag on that node loses.
+    TestPersonality other("other", grid.engine());
+    other.attach(grid, 0);
+    EXPECT_THROW(other.acquire_tag(0x52), std::logic_error);
+  }
+  EXPECT_EQ(grid.node(0).mpi(), nullptr);
+  EXPECT_EQ(grid.node(0).madio()->tag_owner(0x52), nullptr);
+}
+
+// --- CORBA ------------------------------------------------------------------
+
+TEST(Orb, InvokeRoundTripsArguments) {
+  gr::Grid grid;
+  build_testbed(grid);
+  padico::orb::Orb server(grid.node(1).host(), grid.node(1).vlink(),
+                          padico::orb::profiles::omniorb4(), 5200);
+  server.activate("calc", [](const std::string& method,
+                             std::vector<padico::orb::Any> args)
+                      -> std::vector<padico::orb::Any> {
+    if (method == "sum") {
+      std::uint64_t sum = 0;
+      for (const auto& a : args) sum += a.u64();
+      return {padico::orb::Any(sum)};
+    }
+    return args;  // echo
+  });
+  server.start();
+  padico::orb::Orb client(grid.node(0).host(), grid.node(0).vlink(),
+                          padico::orb::profiles::omniorb4(), 5201);
+  auto ref = server.ref_of("calc");
+  bool done = false;
+  auto prog = [&]() -> pc::Task {
+    // invoke() calls stay out of co_await full-expressions (GCC 12
+    // coroutine gotcha; see DESIGN.md "Conventions").
+    std::vector<padico::orb::Any> args;
+    args.emplace_back(std::uint64_t{30});
+    args.emplace_back(std::uint64_t{12});
+    const std::string sum_m = "sum";
+    auto sum_call = client.invoke(ref, sum_m, std::move(args));
+    padico::orb::Reply r = co_await sum_call;
+    EXPECT_EQ(r.status, pc::Status::ok);
+    EXPECT_EQ(r.results.size(), 1u);
+    if (r.results.size() == 1) {
+      EXPECT_EQ(r.results[0].u64(), 42u);
+    }
+
+    std::vector<padico::orb::Any> echo_args;
+    echo_args.emplace_back(std::string("name"));
+    echo_args.emplace_back(pc::Bytes{1, 2, 3});
+    const std::string echo_m = "echo";
+    auto echo_call = client.invoke(ref, echo_m, std::move(echo_args));
+    padico::orb::Reply e = co_await echo_call;
+    EXPECT_EQ(e.status, pc::Status::ok);
+    EXPECT_EQ(e.results.size(), 2u);
+    if (e.results.size() == 2) {
+      EXPECT_EQ(e.results[0].str(), "name");
+      EXPECT_EQ(e.results[1].octets(), (pc::Bytes{1, 2, 3}));
+    }
+    done = true;
+  };
+  auto t = prog();
+  grid.engine().run_while_pending([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_EQ(server.requests_served(), 2u);
+  EXPECT_EQ(client.requests_sent(), 2u);
+  EXPECT_EQ(server.protocol_errors(), 0u);
+}
+
+TEST(Orb, UnknownObjectAndSilentPortFail) {
+  gr::Grid grid;
+  build_testbed(grid);
+  padico::orb::Orb server(grid.node(1).host(), grid.node(1).vlink(),
+                          padico::orb::profiles::mico(), 5210);
+  server.start();  // nothing activated
+  padico::orb::Orb client(grid.node(0).host(), grid.node(0).vlink(),
+                          padico::orb::profiles::mico(), 5211);
+  bool done = false;
+  auto prog = [&]() -> pc::Task {
+    const padico::orb::ObjectRef ghost = server.ref_of("ghost");
+    const std::string poke_m = "poke";
+    auto ghost_call = client.invoke(ghost, poke_m, {});
+    padico::orb::Reply r = co_await ghost_call;
+    EXPECT_EQ(r.status, pc::Status::error);  // no such object
+    const padico::orb::ObjectRef nowhere{1, 5999, "void"};
+    auto nowhere_call = client.invoke(nowhere, poke_m, {});
+    padico::orb::Reply n = co_await nowhere_call;
+    EXPECT_EQ(n.status, pc::Status::refused);  // nobody listening
+    done = true;
+  };
+  auto t = prog();
+  grid.engine().run_while_pending([&] { return done; });
+  EXPECT_TRUE(done);
+}
+
+TEST(Orb, AttachPublishesNodeAccessor) {
+  gr::Grid grid;
+  build_testbed(grid);
+  padico::orb::Orb orb(grid.node(1).host(), grid.node(1).vlink(),
+                       padico::orb::profiles::omniorb3(), 5220);
+  orb.attach(grid, 1);
+  EXPECT_EQ(grid.node(1).orb(), &orb);
+  EXPECT_EQ(grid.node(1).personality("omniORB-3"), &orb);
+  orb.detach();
+  EXPECT_EQ(grid.node(1).orb(), nullptr);
+}
+
+// --- Java sockets -----------------------------------------------------------
+
+TEST(Jsock, RoundTripWithJvmCosts) {
+  gr::Grid grid;
+  build_testbed(grid);
+  std::shared_ptr<padico::jsock::JavaSocket> server, client;
+  padico::jsock::java_server_socket(
+      grid.node(1).vlink(), 5300,
+      [&](std::shared_ptr<padico::jsock::JavaSocket> s) {
+        server = std::move(s);
+      });
+  bool done = false;
+  pc::SimTime t0 = 0, t1 = 0;
+  auto cli = [&]() -> pc::Task {
+    auto r = co_await padico::jsock::JavaSocket::connect(
+        grid.node(0).vlink(), {1, 5300});
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    client = *r;
+    t0 = grid.engine().now();
+    co_await client->write(pc::view_of("x"));
+    co_await client->read_n(1);
+    t1 = grid.engine().now();
+    done = true;
+  };
+  auto srv = [&]() -> pc::Task {
+    while (!server) co_await pc::sleep_for(grid.engine(), 100);
+    pc::Bytes b = co_await server->read_n(1);
+    co_await server->write(pc::view_of(b));
+  };
+  auto t1_ = srv();
+  auto t2_ = cli();
+  grid.engine().run_while_pending([&] { return done; });
+  ASSERT_TRUE(done);
+  // Paper Table 1: ~40 us one-way for Java sockets (a full JNI + copy
+  // crossing per call on each side).
+  const double one_way = pc::to_micros(t1 - t0) / 2.0;
+  EXPECT_GT(one_way, 30.0);
+  EXPECT_LT(one_way, 50.0);
+  EXPECT_EQ(client->bytes_written(), 1u);
+  EXPECT_EQ(client->bytes_read(), 1u);
+}
+
+TEST(Jsock, SharedJvmSerializesAndPublishes) {
+  gr::Grid grid;
+  build_testbed(grid);
+  padico::jsock::Jvm jvm(grid.engine());
+  jvm.attach(grid, 0);
+  EXPECT_EQ(grid.node(0).jvm(), &jvm);
+  EXPECT_EQ(grid.node(0).personality("jvm"), &jvm);
+
+  std::shared_ptr<padico::jsock::JavaSocket> server, client;
+  padico::jsock::java_server_socket(
+      grid.node(1).vlink(), 5310,
+      [&](std::shared_ptr<padico::jsock::JavaSocket> s) {
+        server = std::move(s);
+      });
+  bool done = false;
+  auto cli = [&]() -> pc::Task {
+    auto r = co_await padico::jsock::JavaSocket::connect(
+        grid.node(0).vlink(), {1, 5310}, &jvm);
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    client = *r;
+    co_await client->write(pc::view_of("hi"));
+    done = true;
+  };
+  auto t = cli();
+  grid.engine().run_while_pending([&] { return done && server; });
+  EXPECT_TRUE(done);
+}
+
+// --- SOAP -------------------------------------------------------------------
+
+TEST(Soap, EnvelopeRoundTrips) {
+  padico::soap::XmlNode env{
+      "SOAP-ENV:Envelope",
+      "",
+      {{"SOAP-ENV:Body",
+        "",
+        {{"monitor", "", {{"job", "17", {}}, {"what", "progress", {}}}}}}}};
+  const std::string xml = padico::soap::to_xml(env);
+  auto back = padico::soap::parse_xml(xml);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, env);
+}
+
+TEST(Soap, EscapingRoundTrips) {
+  padico::soap::XmlNode node{"note", "a < b && \"c\" > 'd'", {}};
+  auto back = padico::soap::parse_xml(padico::soap::to_xml(node));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, node);
+}
+
+TEST(Soap, DeclarationAndCommentAreSkipped) {
+  auto doc = padico::soap::parse_xml(
+      "<?xml version=\"1.0\"?><!-- generated --><a><b/></a>");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->name, "a");
+  ASSERT_EQ(doc->children.size(), 1u);
+  EXPECT_EQ(doc->children[0].name, "b");
+}
+
+TEST(Soap, MalformedDocumentsAreRejected) {
+  using padico::soap::parse_xml;
+  EXPECT_FALSE(parse_xml("").has_value());
+  EXPECT_FALSE(parse_xml("plain text").has_value());
+  EXPECT_FALSE(parse_xml("<a>").has_value());            // truncated
+  EXPECT_FALSE(parse_xml("<a></b>").has_value());        // mismatched
+  EXPECT_FALSE(parse_xml("<a></a><b/>").has_value());    // two roots
+  EXPECT_FALSE(parse_xml("<a x=\"1\"/>").has_value());   // attributes
+  EXPECT_FALSE(parse_xml("<a>&unknown;</a>").has_value());
+  EXPECT_FALSE(parse_xml("<1bad/>").has_value());        // invalid name
+  EXPECT_FALSE(parse_xml("<a><![CDATA[x]]></a>").has_value());
+  EXPECT_FALSE(parse_xml("<?xml never closed").has_value());
+  EXPECT_FALSE(parse_xml("<a/><!--truncated").has_value());
+  EXPECT_FALSE(parse_xml("<a/><?truncated").has_value());
+}
+
+TEST(Soap, NestedBombIsRejectedNotCrashed) {
+  std::string open, close;
+  for (int i = 0; i < 2 * padico::soap::kMaxDepth; ++i) {
+    open += "<d>";
+    close += "</d>";
+  }
+  EXPECT_FALSE(padico::soap::parse_xml(open + close).has_value());
+  // At the limit boundary, parsing still succeeds.
+  std::string ok_open, ok_close;
+  for (int i = 0; i < padico::soap::kMaxDepth - 1; ++i) {
+    ok_open += "<d>";
+    ok_close += "</d>";
+  }
+  EXPECT_TRUE(padico::soap::parse_xml(ok_open + ok_close).has_value());
+}
+
+// --- CDR --------------------------------------------------------------------
+
+TEST(Cdr, CopyingAndZeroCopyAgreeOnTheWireImage) {
+  pc::Bytes bulk(4096, 0xAB);
+  padico::orb::CdrOut copying(true);
+  copying.put_string("key");
+  copying.put_octets(pc::view_of(bulk));
+  padico::orb::CdrOut zero(false);
+  zero.put_string("key");
+  zero.put_octets(pc::view_of(bulk));
+  EXPECT_EQ(copying.flatten(), zero.flatten());
+  EXPECT_GT(zero.iov().segments(), 1u);  // the bulk stayed referenced
+
+  padico::orb::CdrIn in(pc::view_of(bulk));
+  (void)in.get_u64();
+  EXPECT_TRUE(in.ok());
+}
+
+TEST(Cdr, TruncatedReadsPoisonTheStream) {
+  padico::orb::CdrOut out(true);
+  out.put_u32(7);
+  pc::Bytes frame = out.flatten();
+  padico::orb::CdrIn in(pc::view_of(frame));
+  EXPECT_EQ(in.get_u32(), 7u);
+  EXPECT_TRUE(in.done());
+  (void)in.get_u64();  // past the end
+  EXPECT_FALSE(in.ok());
+  EXPECT_EQ(in.get_u32(), 0u);  // sticky
+  padico::orb::CdrIn counted(pc::view_of(frame));
+  (void)counted.get_octets();  // length 7 > remaining 0
+  EXPECT_FALSE(counted.ok());
+}
+
+}  // namespace
