@@ -8,6 +8,9 @@
 // Expected shape (paper): MPI / omniORB / Java plateau near 240 MB/s;
 // Mico ~55 MB/s and ORBacus ~63 MB/s, capped by their copying
 // marshalers; TCP/Ethernet-100 ~11 MB/s.
+//
+// Each (series, size) point lands in BENCH_fig3.json as
+// "<series>.<size>" with a bootstrap CI over the receive-side windows.
 #include "common.hpp"
 
 namespace {
@@ -21,32 +24,32 @@ std::vector<std::size_t> sizes() {
   return out;
 }
 
-double orb_point(padico::orb::OrbProfile profile, std::size_t size,
-                 pc::Port port) {
+Run orb_point(padico::orb::OrbProfile profile, std::size_t size,
+              pc::Port port) {
   gr::Grid grid;
   attach_testbed(grid);
   grid.build();
   OrbPair p = make_orb_pair(grid, profile, port);
-  return orb_bandwidth_mbps(grid, p, size);
+  return orb_bandwidth_run(grid, p, size);
 }
 
-double mpi_point(std::size_t size) {
+Run mpi_point(std::size_t size) {
   gr::Grid grid;
   attach_testbed(grid);
   grid.build();
   MpiPair p = make_mpi_pair(grid, 0x50, 3000);
-  return mpi_bandwidth_mbps(grid, p, size);
+  return mpi_bandwidth_run(grid, p, size);
 }
 
-double jsock_point(std::size_t size) {
+Run jsock_point(std::size_t size) {
   gr::Grid grid;
   attach_testbed(grid);
   grid.build();
   JsockPair p = make_jsock_pair(grid, 3100);
-  return jsock_bandwidth_mbps(grid, p, size);
+  return jsock_bandwidth_run(grid, p, size);
 }
 
-double tcp_reference_point(std::size_t size) {
+Run tcp_reference_point(std::size_t size) {
   gr::Grid grid;
   grid.add_nodes(2);
   sn::NetId lan = grid.add_network(sn::profiles::ethernet100());
@@ -54,27 +57,37 @@ double tcp_reference_point(std::size_t size) {
   grid.attach(lan, 1);
   grid.build();
   LinkPair p = make_link_pair(grid, "sysio", 3200);
-  return link_bandwidth_mbps(grid, p, size);
+  return link_bandwidth_run(grid, p, size);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Session session(argc, argv, "fig3");
   std::printf("# Figure 3: bandwidth of middleware systems in PadicoTM over "
               "Myrinet-2000 (MB/s, MB = 1e6 B)\n");
   std::printf("%10s %12s %12s %10s %10s %10s %12s %14s\n", "size(B)",
               "omniORB-3", "omniORB-4", "Mico", "ORBacus", "MPICH",
               "Java-sock", "TCP/Eth-100");
   for (std::size_t s : sizes()) {
-    const double o3 = orb_point(padico::orb::profiles::omniorb3(), s, 3300);
-    const double o4 = orb_point(padico::orb::profiles::omniorb4(), s, 3310);
-    const double mico = orb_point(padico::orb::profiles::mico(), s, 3320);
-    const double orbacus = orb_point(padico::orb::profiles::orbacus(), s, 3330);
-    const double mpich = mpi_point(s);
-    const double java = jsock_point(s);
-    const double tcp = tcp_reference_point(s);
+    const Run o3 = orb_point(padico::orb::profiles::omniorb3(), s, 3300);
+    const Run o4 = orb_point(padico::orb::profiles::omniorb4(), s, 3310);
+    const Run mico = orb_point(padico::orb::profiles::mico(), s, 3320);
+    const Run orbacus = orb_point(padico::orb::profiles::orbacus(), s, 3330);
+    const Run mpich = mpi_point(s);
+    const Run java = jsock_point(s);
+    const Run tcp = tcp_reference_point(s);
     std::printf("%10zu %12.1f %12.1f %10.1f %10.1f %10.1f %12.1f %14.2f\n", s,
-                o3, o4, mico, orbacus, mpich, java, tcp);
+                o3.value, o4.value, mico.value, orbacus.value, mpich.value,
+                java.value, tcp.value);
+    const std::string suffix = "." + std::to_string(s);
+    session.metric("omniORB-3" + suffix, "MB/s", o3);
+    session.metric("omniORB-4" + suffix, "MB/s", o4);
+    session.metric("Mico" + suffix, "MB/s", mico);
+    session.metric("ORBacus" + suffix, "MB/s", orbacus);
+    session.metric("MPICH" + suffix, "MB/s", mpich);
+    session.metric("Java-socket" + suffix, "MB/s", java);
+    session.metric("TCP-Eth100" + suffix, "MB/s", tcp);
   }
   std::printf("\n# paper anchors: plateau ~240 MB/s for MPI/omniORB/Java; "
               "Mico ~55, ORBacus ~63, TCP/Eth-100 ~11 MB/s\n");

@@ -5,6 +5,11 @@
 // Measures one-way latency of (a) plain Madeleine, (b) MadIO with header
 // combining, (c) MadIO without combining — the naive multiplexing whose
 // header travels as its own hardware message.
+//
+// A final full-stack section runs a Java-socket ping-pong through a
+// built Grid (personality CPU charge -> vlink -> madio driver ->
+// arbitration pump), so a run under --trace=FILE / PADICO_TRACE yields
+// a Chrome trace with spans from every layer of the stack.
 #include "common.hpp"
 #include "drivers/san_driver.hpp"
 #include "madeleine/madeleine.hpp"
@@ -98,7 +103,8 @@ double madio_us(bool combining, int rounds = 64) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Session session(argc, argv, "madio_overhead");
   std::printf("# Section 4.1: MadIO multiplexing overhead over plain "
               "Madeleine (paper: < 0.1 us with header combining)\n\n");
   const double plain = plain_madeleine_us();
@@ -110,9 +116,31 @@ int main() {
   std::printf("%-34s %10.3f us  (overhead %+.3f us)\n",
               "MadIO, naive (separate header msg)", uncombined,
               uncombined - plain);
+  session.metric("plain_madeleine.latency", "us", plain);
+  session.metric("madio_combined.latency", "us", combined);
+  session.metric("madio_naive.latency", "us", uncombined);
   std::printf("\n# combining keeps the overhead to the header's wire time "
               "plus one poll\n# (~0.15 us here; the paper reports <0.1 us of "
               "software overhead on real\n# hardware); the naive scheme pays "
               "a full extra per-message cost.\n");
+
+#ifdef BENCH_HAVE_JSOCK
+  // Full-stack reference: Java-socket ping-pong over the built Grid.
+  // On the testbed the chooser routes the vlink over the madio driver,
+  // so one round trip crosses personality (JVM CPU charge), vlink
+  // framing, madio multiplexing and the arbitration pump — all four
+  // show up as categories in a --trace capture.
+  {
+    gr::Grid grid;
+    attach_testbed(grid);
+    grid.build();
+    JsockPair p = make_jsock_pair(grid, 3600);
+    Run lat = jsock_latency_run(grid, p, 16);
+    std::printf("\n%-34s %10.3f us  (full stack: personality/vlink/"
+                "madio/arbitration)\n",
+                "Java-socket one-way, full grid", lat.value);
+    session.metric("jsock_fullstack.latency", "us", lat);
+  }
+#endif
   return 0;
 }

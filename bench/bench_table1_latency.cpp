@@ -10,6 +10,11 @@
 //
 // Rows light up as their layers land (the same __has_include guards as
 // bench/common.hpp); missing layers are listed as pending at the end.
+//
+// Reporting: latency means come from `n` measured ping-pong rounds
+// (per-round samples feed the bootstrap CI in BENCH_table1.json);
+// `warm` counts unmeasured warm-up rounds, printed separately so the
+// mean is never diluted by connection establishment.
 #include "common.hpp"
 
 namespace {
@@ -18,8 +23,8 @@ using namespace bench;
 
 struct Row {
   std::string name;
-  double latency_us;
-  double bandwidth_mbps;
+  Run latency;
+  Run bandwidth;
   double paper_latency;
   double paper_bandwidth;
 };
@@ -30,9 +35,9 @@ Row circuit_row() {
   attach_testbed(grid);
   grid.build();
   auto set = grid.make_circuit("t1", padico::circuit::Group({0, 1}), 0x51, 3400);
-  const double lat = circuit_latency_us(grid, set);
-  const double bw = circuit_bandwidth_mbps(grid, set, 1 << 20);
-  return {"Circuit", lat, bw, 8.4, 240.0};
+  Run lat = circuit_latency_run(grid, set);
+  Run bw = circuit_bandwidth_run(grid, set, 1 << 20);
+  return {"Circuit", std::move(lat), std::move(bw), 8.4, 240.0};
 }
 #endif
 
@@ -41,9 +46,9 @@ Row vlink_row() {
   attach_testbed(grid);
   grid.build();
   LinkPair p = make_link_pair(grid, "madio", 3410);
-  const double lat = link_latency_us(grid, p);
-  const double bw = link_bandwidth_mbps(grid, p, 1 << 20, 64);
-  return {"VLink", lat, bw, 10.2, 239.0};
+  Run lat = link_latency_run(grid, p);
+  Run bw = link_bandwidth_run(grid, p, 1 << 20, 64);
+  return {"VLink", std::move(lat), std::move(bw), 10.2, 239.0};
 }
 
 #ifdef BENCH_HAVE_MPI
@@ -52,9 +57,9 @@ Row mpi_row() {
   attach_testbed(grid);
   grid.build();
   MpiPair p = make_mpi_pair(grid, 0x52, 3420);
-  const double lat = mpi_latency_us(grid, p);
-  const double bw = mpi_bandwidth_mbps(grid, p, 1 << 20);
-  return {"MPICH", lat, bw, 12.06, 238.7};
+  Run lat = mpi_latency_run(grid, p);
+  Run bw = mpi_bandwidth_run(grid, p, 1 << 20);
+  return {"MPICH", std::move(lat), std::move(bw), 12.06, 238.7};
 }
 #endif
 
@@ -65,9 +70,9 @@ Row orb_row(padico::orb::OrbProfile profile, double paper_lat,
   attach_testbed(grid);
   grid.build();
   OrbPair p = make_orb_pair(grid, profile, port);
-  const double lat = orb_latency_us(grid, p);
-  const double bw = orb_bandwidth_mbps(grid, p, 1 << 20);
-  return {profile.name, lat, bw, paper_lat, paper_bw};
+  Run lat = orb_latency_run(grid, p);
+  Run bw = orb_bandwidth_run(grid, p, 1 << 20);
+  return {profile.name, std::move(lat), std::move(bw), paper_lat, paper_bw};
 }
 #endif
 
@@ -77,19 +82,20 @@ Row jsock_row() {
   attach_testbed(grid);
   grid.build();
   JsockPair p = make_jsock_pair(grid, 3440);
-  const double lat = jsock_latency_us(grid, p);
-  const double bw = jsock_bandwidth_mbps(grid, p, 1 << 20);
-  return {"Java-socket", lat, bw, 40.0, 237.9};
+  Run lat = jsock_latency_run(grid, p);
+  Run bw = jsock_bandwidth_run(grid, p, 1 << 20);
+  return {"Java-socket", std::move(lat), std::move(bw), 40.0, 237.9};
 }
 #endif
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Session session(argc, argv, "table1");
   std::printf("# Table 1: latency / max bandwidth over Myrinet-2000 "
               "(measured vs paper)\n");
-  std::printf("%-14s %14s %12s %16s %14s\n", "system", "latency(us)",
-              "paper(us)", "bandwidth(MB/s)", "paper(MB/s)");
+  std::printf("%-14s %14s %12s %5s %5s %16s %14s\n", "system", "latency(us)",
+              "paper(us)", "n", "warm", "bandwidth(MB/s)", "paper(MB/s)");
   std::vector<Row> rows;
   std::vector<std::string> pending;
 #ifdef BENCH_HAVE_CIRCUIT
@@ -124,9 +130,11 @@ int main() {
   pending.push_back("Mico/ORBacus §5 rows (middleware/corba/orb.hpp)");
 #endif
   for (const Row& r : rows) {
-    std::printf("%-14s %14.2f %12.2f %16.1f %14.1f\n", r.name.c_str(),
-                r.latency_us, r.paper_latency, r.bandwidth_mbps,
-                r.paper_bandwidth);
+    std::printf("%-14s %14.2f %12.2f %5d %5d %16.1f %14.1f\n", r.name.c_str(),
+                r.latency.value, r.paper_latency, r.latency.n(),
+                r.latency.warmup, r.bandwidth.value, r.paper_bandwidth);
+    session.metric(r.name + ".latency", "us", r.latency);
+    session.metric(r.name + ".bandwidth", "MB/s", r.bandwidth);
   }
   for (const std::string& p : pending) {
     std::printf("# pending: %s\n", p.c_str());

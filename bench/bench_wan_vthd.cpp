@@ -10,6 +10,7 @@
 // The raw-TCP row, the latency row and the ParallelStreams sweep run on
 // the selector/pstream layers; the middleware rows light up via the
 // __has_include guards in common.hpp once the personalities land.
+// Every figure also lands in BENCH_wan_vthd.json with a bootstrap CI.
 #include "common.hpp"
 
 namespace {
@@ -26,15 +27,15 @@ void wan_grid(gr::Grid& grid, int pstream_width = 4) {
   grid.build(opts);
 }
 
-double raw_tcp_bw() {
+Run raw_tcp_bw() {
   gr::Grid grid;
   wan_grid(grid);
   LinkPair p = make_link_pair(grid, "sysio", 4630);
-  return link_bandwidth_mbps(grid, p, 256 * 1024);
+  return link_bandwidth_run(grid, p, 256 * 1024);
 }
 
 #ifdef BENCH_HAVE_MPI
-double mpi_bw() {
+Run mpi_bw() {
   gr::Grid grid;
   wan_grid(grid);
   // Force plain TCP (the paper's baseline measurement); across the
@@ -42,77 +43,104 @@ double mpi_bw() {
   grid.node(0).chooser().set_wan_method("sysio");
   grid.node(1).chooser().set_wan_method("sysio");
   MpiPair p = make_mpi_wan_pair(grid, 4600);
-  return mpi_bandwidth_mbps(grid, p, 256 * 1024);
+  return mpi_bandwidth_run(grid, p, 256 * 1024);
 }
 #endif
 
 #ifdef BENCH_HAVE_ORB
-double orb_bw() {
+Run orb_bw() {
   gr::Grid grid;
   wan_grid(grid);
   grid.node(0).chooser().set_wan_method("sysio");
   grid.node(1).chooser().set_wan_method("sysio");
   OrbPair p = make_orb_pair(grid, padico::orb::profiles::omniorb4(), 4610);
-  return orb_bandwidth_mbps(grid, p, 256 * 1024);
+  return orb_bandwidth_run(grid, p, 256 * 1024);
 }
 #endif
 
 #ifdef BENCH_HAVE_JSOCK
-double jsock_bw() {
+Run jsock_bw() {
   gr::Grid grid;
   wan_grid(grid);
   grid.node(0).chooser().set_wan_method("sysio");
   grid.node(1).chooser().set_wan_method("sysio");
   JsockPair p = make_jsock_pair(grid, 4620);
-  return jsock_bandwidth_mbps(grid, p, 256 * 1024);
+  return jsock_bandwidth_run(grid, p, 256 * 1024);
 }
 #endif
 
-double wan_latency_ms() {
+Run wan_latency_run() {
   gr::Grid grid;
   wan_grid(grid);
   LinkPair p = make_link_pair(grid, "sysio", 4640);
-  return link_latency_us(grid, p, 4) / 1000.0;
+  Run run = link_latency_run(grid, p, 4);
+  // Report in milliseconds (the paper's unit for this experiment).
+  run.value /= 1000.0;
+  for (double& s : run.samples) s /= 1000.0;
+  return run;
 }
 
-double pstream_bw(int streams) {
+Run pstream_bw(int streams) {
   gr::Grid grid;
   wan_grid(grid, streams);
   LinkPair p = make_link_pair(grid, streams <= 1 ? "sysio" : "pstream", 4650);
-  return link_bandwidth_mbps(grid, p, 256 * 1024, 64);
+  return link_bandwidth_run(grid, p, 256 * 1024, 64);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Session session(argc, argv, "wan_vthd");
   std::printf("# Section 5 WAN (VTHD) reproduction\n\n");
   std::printf("## middleware bandwidth over plain TCP (paper: all ~9 MB/s)\n");
   std::printf("%-12s %10s\n", "system", "MB/s");
-  std::printf("%-12s %10.2f\n", "raw-TCP", raw_tcp_bw());
+  {
+    const Run r = raw_tcp_bw();
+    std::printf("%-12s %10.2f\n", "raw-TCP", r.value);
+    session.metric("raw-TCP.bandwidth", "MB/s", r);
+  }
 #ifdef BENCH_HAVE_MPI
-  std::printf("%-12s %10.2f\n", "MPI", mpi_bw());
+  {
+    const Run r = mpi_bw();
+    std::printf("%-12s %10.2f\n", "MPI", r.value);
+    session.metric("MPI.bandwidth", "MB/s", r);
+  }
 #else
   std::printf("%-12s %10s\n", "MPI", "pending");
 #endif
 #ifdef BENCH_HAVE_ORB
-  std::printf("%-12s %10.2f\n", "omniORB-4", orb_bw());
+  {
+    const Run r = orb_bw();
+    std::printf("%-12s %10.2f\n", "omniORB-4", r.value);
+    session.metric("omniORB-4.bandwidth", "MB/s", r);
+  }
 #else
   std::printf("%-12s %10s\n", "omniORB-4", "pending");
 #endif
 #ifdef BENCH_HAVE_JSOCK
-  std::printf("%-12s %10.2f\n", "Java-socket", jsock_bw());
+  {
+    const Run r = jsock_bw();
+    std::printf("%-12s %10.2f\n", "Java-socket", r.value);
+    session.metric("Java-socket.bandwidth", "MB/s", r);
+  }
 #else
   std::printf("%-12s %10s\n", "Java-socket", "pending");
 #endif
 
   std::printf("\n## one-way latency (paper: 8 ms)\n");
-  std::printf("latency: %.2f ms\n", wan_latency_ms());
+  {
+    const Run r = wan_latency_run();
+    std::printf("latency: %.2f ms  (n=%d)\n", r.value, r.n());
+    session.metric("latency", "ms", r);
+  }
 
   std::printf("\n## ParallelStreams sweep (paper: 1 stream ~9 MB/s, "
               "parallel streams -> 12 MB/s = Ethernet-100 access cap)\n");
   std::printf("%8s %10s\n", "streams", "MB/s");
   for (int s : {1, 2, 3, 4, 6, 8}) {
-    std::printf("%8d %10.2f\n", s, pstream_bw(s));
+    const Run r = pstream_bw(s);
+    std::printf("%8d %10.2f\n", s, r.value);
+    session.metric("pstream." + std::to_string(s), "MB/s", r);
   }
   return 0;
 }

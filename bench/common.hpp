@@ -9,12 +9,16 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "grid/grid.hpp"
+#include "obs/obs.hpp"
 #include "selector/selector.hpp"
 
 // Middleware layers land PR by PR; each driver section below compiles
@@ -71,6 +75,223 @@ inline int message_count(std::size_t size) {
 }
 
 // ---------------------------------------------------------------------------
+// Statistics: bootstrap-resampled confidence intervals
+// ---------------------------------------------------------------------------
+
+struct Stats {
+  double mean = 0;
+  double ci_lo = 0;  // 95% bootstrap CI on the mean
+  double ci_hi = 0;
+};
+
+/// Mean + 95% percentile-bootstrap CI of `samples`.  The resampling
+/// RNG is seeded, so the interval is bit-identical across runs — these
+/// numbers land in checked-in BENCH_*.json baselines.
+inline Stats bootstrap_stats(const std::vector<double>& samples,
+                             int resamples = 1000,
+                             std::uint64_t seed = 0xb007'57a9'0000'0001ull) {
+  Stats st;
+  if (samples.empty()) return st;
+  double sum = 0;
+  for (double s : samples) sum += s;
+  st.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() == 1) {
+    st.ci_lo = st.ci_hi = st.mean;
+    return st;
+  }
+  pc::Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      acc += samples[rng.uniform_int(0, samples.size() - 1)];
+    }
+    means.push_back(acc / static_cast<double>(samples.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const auto pct = [&](int per_mille) {
+    std::size_t idx = (means.size() * static_cast<std::size_t>(per_mille)) /
+                      1000;
+    return means[std::min(idx, means.size() - 1)];
+  };
+  st.ci_lo = pct(25);   // 2.5th percentile
+  st.ci_hi = pct(975);  // 97.5th percentile
+  return st;
+}
+
+/// One measurement: the headline figure (identical to what the scalar
+/// drivers return) plus the per-round / per-window samples behind it.
+struct Run {
+  double value = 0;
+  std::vector<double> samples;
+  int warmup = 0;  // unmeasured rounds before the first stamp
+
+  int n() const noexcept { return static_cast<int>(samples.size()); }
+  Stats stats() const { return bootstrap_stats(samples); }
+};
+
+/// Receive-side windows a bandwidth run is cut into for CI purposes.
+inline constexpr int kBwWindows = 8;
+
+/// Message index (1-based) ending window `w` of `windows` over `count`.
+inline int window_edge(int count, int windows, int w) {
+  return static_cast<int>((static_cast<std::int64_t>(count) * (w + 1)) /
+                          windows);
+}
+
+// ---------------------------------------------------------------------------
+// Observability session: --trace/--json flags, BENCH_*.json emission
+// ---------------------------------------------------------------------------
+
+/// Per-bench observability harness.  Construct first thing in main():
+///
+///   bench::Session session(argc, argv, "table1");
+///   ...
+///   session.metric("Circuit.latency", "us", lat_run);
+///
+/// Flags / environment (flags win):
+///   --trace=FILE   or PADICO_TRACE=FILE        combined Chrome trace
+///   --json=FILE    or PADICO_BENCH_JSON=DIR    BENCH_<name>.json
+///
+/// With tracing requested, every engine the bench creates starts with
+/// all trace categories enabled (obs::set_default_trace_mask) and
+/// flushes into one process-wide TraceSink when it dies; the registry
+/// accumulator is always installed, so the JSON report embeds a
+/// whole-run metrics snapshot.  Files are written in the destructor.
+class Session {
+ public:
+  Session(int argc, char** argv, std::string bench_name)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace=", 0) == 0) {
+        trace_file_ = arg.substr(8);
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_file_ = arg.substr(7);
+      }
+    }
+    if (trace_file_.empty()) {
+      if (const char* env = std::getenv("PADICO_TRACE")) trace_file_ = env;
+    }
+    if (json_file_.empty()) {
+      if (const char* env = std::getenv("PADICO_BENCH_JSON")) {
+        json_file_ = std::string(env) + "/BENCH_" + bench_ + ".json";
+      }
+    }
+    if (!trace_file_.empty()) {
+      padico::obs::set_default_trace_mask(padico::obs::kAllCats);
+      padico::obs::set_global_trace_sink(&sink_);
+    }
+    padico::obs::set_global_registry(&registry_);
+  }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session() {
+    if (!json_file_.empty()) write_json();
+    if (!trace_file_.empty()) {
+      std::ofstream out(trace_file_);
+      if (out) {
+        out << sink_.chrome_json();
+        std::printf("# trace: %s (%zu events)\n", trace_file_.c_str(),
+                    sink_.size());
+      } else {
+        std::fprintf(stderr, "# trace: cannot write %s\n",
+                     trace_file_.c_str());
+      }
+      padico::obs::set_default_trace_mask(0);
+      padico::obs::set_global_trace_sink(nullptr);
+    }
+    padico::obs::set_global_registry(nullptr);
+  }
+
+  bool tracing() const noexcept { return !trace_file_.empty(); }
+
+  /// Record one metric for the JSON report.  `run.value` becomes the
+  /// baseline-compared mean; the CI comes from bootstrap over the
+  /// run's samples.
+  void metric(const std::string& name, const std::string& unit,
+              const Run& run) {
+    metrics_.push_back(Metric{name, unit, run.value, run.stats(), run.n(),
+                              run.warmup});
+  }
+
+  /// Scalar convenience for figures without per-round samples.
+  void metric(const std::string& name, const std::string& unit,
+              double value) {
+    Run run;
+    run.value = value;
+    metric(name, unit, run);
+  }
+
+ private:
+  struct Metric {
+    std::string name, unit;
+    double value;
+    Stats stats;
+    int n, warmup;
+  };
+
+  static void append_escaped(std::string& out, const std::string& s) {
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+  }
+
+  void write_json() const {
+    std::string out;
+    out += "{\n  \"schema\": 1,\n  \"bench\": \"";
+    append_escaped(out, bench_);
+    out += "\",\n  \"metrics\": {";
+    char buf[256];
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    \"";
+      append_escaped(out, m.name);
+      out += "\": {\"unit\": \"";
+      append_escaped(out, m.unit);
+      std::snprintf(buf, sizeof buf,
+                    "\", \"mean\": %.6g, \"ci_lo\": %.6g, \"ci_hi\": %.6g, "
+                    "\"n\": %d, \"warmup\": %d}",
+                    m.value, m.stats.ci_lo, m.stats.ci_hi, m.n, m.warmup);
+      out += buf;
+    }
+    out += "\n  },\n  \"registry\": \"";
+    append_escaped(out, registry_.snapshot());
+    out += "\"\n}\n";
+    std::ofstream f(json_file_);
+    if (f) {
+      f << out;
+      std::printf("# json: %s (%zu metrics)\n", json_file_.c_str(),
+                  metrics_.size());
+    } else {
+      std::fprintf(stderr, "# json: cannot write %s\n", json_file_.c_str());
+    }
+  }
+
+  std::string bench_;
+  std::string trace_file_, json_file_;
+  padico::obs::TraceSink sink_;
+  padico::obs::Registry registry_;
+  std::vector<Metric> metrics_;
+};
+
+// ---------------------------------------------------------------------------
 // MPI drivers
 // ---------------------------------------------------------------------------
 
@@ -121,23 +342,29 @@ inline MpiPair make_mpi_wan_pair(gr::Grid& grid, pc::Port port) {
   return p;
 }
 
-/// One-way latency from a ping-pong of `rounds` round trips.
-inline double mpi_latency_us(gr::Grid& grid, MpiPair& p, int rounds = 32) {
-  pc::SimTime t0 = 0, t1 = 0;
+/// One-way latency from a ping-pong of `rounds` round trips, with
+/// per-round samples (round-trip / 2, stamped between rounds).
+inline Run mpi_latency_run(gr::Grid& grid, MpiPair& p, int rounds = 32,
+                           int warmup = 0) {
+  std::vector<pc::SimTime> stamps;
   bool done = false;
   auto rank0 = [&]() -> pc::Task {
     pc::Bytes ping(1, 0);
-    t0 = grid.engine().now();
-    for (int i = 0; i < rounds; ++i) {
+    for (int i = 0; i < warmup; ++i) {
       p.c0->isend(1, 0, pc::view_of(ping));
       co_await p.c0->recv(1, 0);
     }
-    t1 = grid.engine().now();
+    stamps.push_back(grid.engine().now());
+    for (int i = 0; i < rounds; ++i) {
+      p.c0->isend(1, 0, pc::view_of(ping));
+      co_await p.c0->recv(1, 0);
+      stamps.push_back(grid.engine().now());
+    }
     done = true;
   };
   auto rank1 = [&]() -> pc::Task {
     pc::Bytes pong(1, 0);
-    for (int i = 0; i < rounds; ++i) {
+    for (int i = 0; i < warmup + rounds; ++i) {
       co_await p.c1->recv(0, 0);
       p.c1->isend(0, 0, pc::view_of(pong));
     }
@@ -145,14 +372,26 @@ inline double mpi_latency_us(gr::Grid& grid, MpiPair& p, int rounds = 32) {
   auto ta = rank1();
   auto tb = rank0();
   grid.engine().run_while_pending([&] { return done; });
-  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+  Run run;
+  run.warmup = warmup;
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    run.samples.push_back(pc::to_micros(stamps[i] - stamps[i - 1]) / 2.0);
+  }
+  run.value = pc::to_micros(stamps.back() - stamps.front()) / (2.0 * rounds);
+  return run;
 }
 
-/// Streaming bandwidth at message size `size`.
-inline double mpi_bandwidth_mbps(gr::Grid& grid, MpiPair& p,
-                                 std::size_t size) {
+inline double mpi_latency_us(gr::Grid& grid, MpiPair& p, int rounds = 32) {
+  return mpi_latency_run(grid, p, rounds).value;
+}
+
+/// Streaming bandwidth at message size `size`, with per-window samples
+/// (receive side cut into kBwWindows slices).
+inline Run mpi_bandwidth_run(gr::Grid& grid, MpiPair& p, std::size_t size) {
   const int count = message_count(size);
-  pc::SimTime t0 = 0, t1 = 0;
+  const int windows = std::min(kBwWindows, count);
+  pc::SimTime t0 = 0;
+  std::vector<pc::SimTime> marks;
   bool done = false;
   auto rank0 = [&]() -> pc::Task {
     pc::Bytes payload(size, 0x77);
@@ -161,14 +400,38 @@ inline double mpi_bandwidth_mbps(gr::Grid& grid, MpiPair& p,
     co_return;
   };
   auto rank1 = [&]() -> pc::Task {
-    for (int i = 0; i < count; ++i) co_await p.c1->recv(0, 1);
-    t1 = grid.engine().now();
+    int next_edge = 0;
+    for (int i = 0; i < count; ++i) {
+      co_await p.c1->recv(0, 1);
+      if (i + 1 == window_edge(count, windows, next_edge)) {
+        marks.push_back(grid.engine().now());
+        ++next_edge;
+      }
+    }
     done = true;
   };
   auto ta = rank1();
   auto tb = rank0();
   grid.engine().run_while_pending([&] { return done; });
-  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+  Run run;
+  pc::SimTime prev = t0;
+  int prev_edge = 0;
+  for (int w = 0; w < windows; ++w) {
+    const int edge = window_edge(count, windows, w);
+    run.samples.push_back(
+        mbps(static_cast<std::uint64_t>(edge - prev_edge) * size,
+             marks[static_cast<std::size_t>(w)] - prev));
+    prev = marks[static_cast<std::size_t>(w)];
+    prev_edge = edge;
+  }
+  run.value = mbps(static_cast<std::uint64_t>(size) * count,
+                   marks.back() - t0);
+  return run;
+}
+
+inline double mpi_bandwidth_mbps(gr::Grid& grid, MpiPair& p,
+                                 std::size_t size) {
+  return mpi_bandwidth_run(grid, p, size).value;
 }
 
 #endif  // BENCH_HAVE_MPI
@@ -200,35 +463,52 @@ inline OrbPair make_orb_pair(gr::Grid& grid, padico::orb::OrbProfile profile,
   return p;
 }
 
-inline double orb_latency_us(gr::Grid& grid, OrbPair& p, int rounds = 32) {
-  pc::SimTime t0 = 0, t1 = 0;
+/// Ping-pong latency; `warmup` counts the unmeasured connection
+/// warm-up invokes (at least 1 — the connect itself must not pollute
+/// round 0).
+inline Run orb_latency_run(gr::Grid& grid, OrbPair& p, int rounds = 32,
+                           int warmup = 1) {
+  std::vector<pc::SimTime> stamps;
   bool done = false;
   auto prog = [&]() -> pc::Task {
     // Calls with owning argument temporaries stay OUT of co_await
     // full-expressions (GCC 12 coroutine gotcha; see DESIGN.md
     // "Conventions").
     const std::string null_method = "null";
-    pc::Completion<padico::orb::Reply> warm =
-        p.client->invoke(p.sink, null_method, {});
-    co_await warm;  // connection warm-up
-    t0 = grid.engine().now();
+    for (int i = 0; i < std::max(warmup, 1); ++i) {
+      pc::Completion<padico::orb::Reply> warm =
+          p.client->invoke(p.sink, null_method, {});
+      co_await warm;
+    }
+    stamps.push_back(grid.engine().now());
     for (int i = 0; i < rounds; ++i) {
       pc::Completion<padico::orb::Reply> call =
           p.client->invoke(p.sink, null_method, {});
       co_await call;
+      stamps.push_back(grid.engine().now());
     }
-    t1 = grid.engine().now();
     done = true;
   };
   auto t = prog();
   grid.engine().run_while_pending([&] { return done; });
-  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+  Run run;
+  run.warmup = std::max(warmup, 1);
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    run.samples.push_back(pc::to_micros(stamps[i] - stamps[i - 1]) / 2.0);
+  }
+  run.value = pc::to_micros(stamps.back() - stamps.front()) / (2.0 * rounds);
+  return run;
 }
 
-inline double orb_bandwidth_mbps(gr::Grid& grid, OrbPair& p,
-                                 std::size_t size) {
+inline double orb_latency_us(gr::Grid& grid, OrbPair& p, int rounds = 32) {
+  return orb_latency_run(grid, p, rounds).value;
+}
+
+inline Run orb_bandwidth_run(gr::Grid& grid, OrbPair& p, std::size_t size) {
   const int count = message_count(size);
-  pc::SimTime t0 = 0, t1 = 0;
+  const int windows = std::min(kBwWindows, count);
+  pc::SimTime t0 = 0;
+  std::vector<pc::SimTime> marks;
   bool done = false;
   auto prog = [&]() -> pc::Task {
     const std::string null_method = "null";
@@ -238,20 +518,48 @@ inline double orb_bandwidth_mbps(gr::Grid& grid, OrbPair& p,
     t0 = grid.engine().now();
     pc::Bytes payload(size, 0x55);
     // Oneway-style streaming: requests pipeline freely (the marshaller
-    // and the wire pace them); only the final reply is awaited.
-    pc::Completion<padico::orb::Reply> last;
+    // and the wire pace them); only window-boundary replies are
+    // awaited, in order, after everything has been issued — replies
+    // come back FIFO, so each await resumes at that reply's arrival.
+    std::vector<pc::Completion<padico::orb::Reply>> edges;
+    int next_edge = 0;
     for (int i = 0; i < count; ++i) {
       std::vector<padico::orb::Any> args;
       args.emplace_back(payload);
-      last = p.client->invoke(p.sink, "put", std::move(args));
+      pc::Completion<padico::orb::Reply> call =
+          p.client->invoke(p.sink, "put", std::move(args));
+      if (i + 1 == window_edge(count, windows, next_edge)) {
+        edges.push_back(call);
+        ++next_edge;
+      }
     }
-    co_await last;
-    t1 = grid.engine().now();
+    for (std::size_t w = 0; w < edges.size(); ++w) {
+      co_await edges[w];
+      marks.push_back(grid.engine().now());
+    }
     done = true;
   };
   auto t = prog();
   grid.engine().run_while_pending([&] { return done; });
-  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+  Run run;
+  pc::SimTime prev = t0;
+  int prev_edge = 0;
+  for (int w = 0; w < windows; ++w) {
+    const int edge = window_edge(count, windows, w);
+    run.samples.push_back(
+        mbps(static_cast<std::uint64_t>(edge - prev_edge) * size,
+             marks[static_cast<std::size_t>(w)] - prev));
+    prev = marks[static_cast<std::size_t>(w)];
+    prev_edge = edge;
+  }
+  run.value = mbps(static_cast<std::uint64_t>(size) * count,
+                   marks.back() - t0);
+  return run;
+}
+
+inline double orb_bandwidth_mbps(gr::Grid& grid, OrbPair& p,
+                                 std::size_t size) {
+  return orb_bandwidth_run(grid, p, size).value;
 }
 
 #endif  // BENCH_HAVE_ORB
@@ -285,20 +593,25 @@ inline JsockPair make_jsock_pair(gr::Grid& grid, pc::Port port) {
   return p;
 }
 
-inline double jsock_latency_us(gr::Grid& grid, JsockPair& p, int rounds = 32) {
-  pc::SimTime t0 = 0, t1 = 0;
+inline Run jsock_latency_run(gr::Grid& grid, JsockPair& p, int rounds = 32,
+                             int warmup = 0) {
+  std::vector<pc::SimTime> stamps;
   bool done = false;
   auto client = [&]() -> pc::Task {
-    t0 = grid.engine().now();
-    for (int i = 0; i < rounds; ++i) {
+    for (int i = 0; i < warmup; ++i) {
       co_await p.client->write(pc::view_of("x"));
       co_await p.client->read_n(1);
     }
-    t1 = grid.engine().now();
+    stamps.push_back(grid.engine().now());
+    for (int i = 0; i < rounds; ++i) {
+      co_await p.client->write(pc::view_of("x"));
+      co_await p.client->read_n(1);
+      stamps.push_back(grid.engine().now());
+    }
     done = true;
   };
   auto server = [&]() -> pc::Task {
-    for (int i = 0; i < rounds; ++i) {
+    for (int i = 0; i < warmup + rounds; ++i) {
       pc::Bytes b = co_await p.server->read_n(1);
       co_await p.server->write(pc::view_of(b));
     }
@@ -306,13 +619,25 @@ inline double jsock_latency_us(gr::Grid& grid, JsockPair& p, int rounds = 32) {
   auto ts = server();
   auto tc = client();
   grid.engine().run_while_pending([&] { return done; });
-  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+  Run run;
+  run.warmup = warmup;
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    run.samples.push_back(pc::to_micros(stamps[i] - stamps[i - 1]) / 2.0);
+  }
+  run.value = pc::to_micros(stamps.back() - stamps.front()) / (2.0 * rounds);
+  return run;
 }
 
-inline double jsock_bandwidth_mbps(gr::Grid& grid, JsockPair& p,
-                                   std::size_t size) {
+inline double jsock_latency_us(gr::Grid& grid, JsockPair& p, int rounds = 32) {
+  return jsock_latency_run(grid, p, rounds).value;
+}
+
+inline Run jsock_bandwidth_run(gr::Grid& grid, JsockPair& p,
+                               std::size_t size) {
   const int count = message_count(size);
-  pc::SimTime t0 = 0, t1 = 0;
+  const int windows = std::min(kBwWindows, count);
+  pc::SimTime t0 = 0;
+  std::vector<pc::SimTime> marks;
   bool done = false;
   auto client = [&]() -> pc::Task {
     pc::Bytes payload(size, 0x33);
@@ -321,14 +646,38 @@ inline double jsock_bandwidth_mbps(gr::Grid& grid, JsockPair& p,
     co_return;
   };
   auto server = [&]() -> pc::Task {
-    for (int i = 0; i < count; ++i) co_await p.server->read_n(size);
-    t1 = grid.engine().now();
+    int next_edge = 0;
+    for (int i = 0; i < count; ++i) {
+      co_await p.server->read_n(size);
+      if (i + 1 == window_edge(count, windows, next_edge)) {
+        marks.push_back(grid.engine().now());
+        ++next_edge;
+      }
+    }
     done = true;
   };
   auto ts = server();
   auto tc = client();
   grid.engine().run_while_pending([&] { return done; });
-  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+  Run run;
+  pc::SimTime prev = t0;
+  int prev_edge = 0;
+  for (int w = 0; w < windows; ++w) {
+    const int edge = window_edge(count, windows, w);
+    run.samples.push_back(
+        mbps(static_cast<std::uint64_t>(edge - prev_edge) * size,
+             marks[static_cast<std::size_t>(w)] - prev));
+    prev = marks[static_cast<std::size_t>(w)];
+    prev_edge = edge;
+  }
+  run.value = mbps(static_cast<std::uint64_t>(size) * count,
+                   marks.back() - t0);
+  return run;
+}
+
+inline double jsock_bandwidth_mbps(gr::Grid& grid, JsockPair& p,
+                                   std::size_t size) {
+  return jsock_bandwidth_run(grid, p, size).value;
 }
 
 #endif  // BENCH_HAVE_JSOCK
@@ -365,20 +714,25 @@ inline LinkPair make_link_pair(gr::Grid& grid, const std::string& method,
   return p;
 }
 
-inline double link_latency_us(gr::Grid& grid, LinkPair& p, int rounds = 32) {
-  pc::SimTime t0 = 0, t1 = 0;
+inline Run link_latency_run(gr::Grid& grid, LinkPair& p, int rounds = 32,
+                            int warmup = 0) {
+  std::vector<pc::SimTime> stamps;
   bool done = false;
   auto client = [&]() -> pc::Task {
-    t0 = grid.engine().now();
-    for (int i = 0; i < rounds; ++i) {
+    for (int i = 0; i < warmup; ++i) {
       p.a->post_write(pc::view_of("x"));
       co_await p.a->read_n(1);
     }
-    t1 = grid.engine().now();
+    stamps.push_back(grid.engine().now());
+    for (int i = 0; i < rounds; ++i) {
+      p.a->post_write(pc::view_of("x"));
+      co_await p.a->read_n(1);
+      stamps.push_back(grid.engine().now());
+    }
     done = true;
   };
   auto server = [&]() -> pc::Task {
-    for (int i = 0; i < rounds; ++i) {
+    for (int i = 0; i < warmup + rounds; ++i) {
       pc::Bytes b = co_await p.b->read_n(1);
       p.b->post_write(pc::view_of(b));
     }
@@ -386,13 +740,26 @@ inline double link_latency_us(gr::Grid& grid, LinkPair& p, int rounds = 32) {
   auto ts = server();
   auto tc = client();
   grid.engine().run_while_pending([&] { return done; });
-  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+  Run run;
+  run.warmup = warmup;
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    run.samples.push_back(pc::to_micros(stamps[i] - stamps[i - 1]) / 2.0);
+  }
+  run.value = pc::to_micros(stamps.back() - stamps.front()) / (2.0 * rounds);
+  return run;
 }
 
-inline double link_bandwidth_mbps(gr::Grid& grid, LinkPair& p,
-                                  std::size_t size, int count = 0) {
+inline double link_latency_us(gr::Grid& grid, LinkPair& p, int rounds = 32) {
+  return link_latency_run(grid, p, rounds).value;
+}
+
+inline Run link_bandwidth_run(gr::Grid& grid, LinkPair& p, std::size_t size,
+                              int count = 0) {
   if (count == 0) count = message_count(size);
-  pc::SimTime t0 = 0, t1 = 0;
+  const std::size_t total = size * static_cast<std::size_t>(count);
+  const int windows = std::min<int>(kBwWindows, static_cast<int>(total));
+  pc::SimTime t0 = 0;
+  std::vector<pc::SimTime> marks;
   bool done = false;
   auto client = [&]() -> pc::Task {
     pc::Bytes payload(size, 0x11);
@@ -403,49 +770,94 @@ inline double link_bandwidth_mbps(gr::Grid& grid, LinkPair& p,
     co_return;
   };
   auto server = [&]() -> pc::Task {
-    co_await p.b->read_n(size * static_cast<std::size_t>(count));
-    t1 = grid.engine().now();
+    // Draining the stream in window-sized reads leaves the wire timing
+    // untouched (reads consume the reassembly buffer, not the wire):
+    // the final read completes at the same instant one big read would.
+    std::size_t taken = 0;
+    for (int w = 0; w < windows; ++w) {
+      const std::size_t edge =
+          (total * static_cast<std::size_t>(w + 1)) /
+          static_cast<std::size_t>(windows);
+      co_await p.b->read_n(edge - taken);
+      taken = edge;
+      marks.push_back(grid.engine().now());
+    }
     done = true;
   };
   auto ts = server();
   auto tc = client();
   grid.engine().run_while_pending([&] { return done; });
-  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+  Run run;
+  pc::SimTime prev = t0;
+  std::size_t prev_edge = 0;
+  for (int w = 0; w < windows; ++w) {
+    const std::size_t edge = (total * static_cast<std::size_t>(w + 1)) /
+                             static_cast<std::size_t>(windows);
+    run.samples.push_back(mbps(edge - prev_edge,
+                               marks[static_cast<std::size_t>(w)] - prev));
+    prev = marks[static_cast<std::size_t>(w)];
+    prev_edge = edge;
+  }
+  run.value = mbps(total, marks.back() - t0);
+  return run;
+}
+
+inline double link_bandwidth_mbps(gr::Grid& grid, LinkPair& p,
+                                  std::size_t size, int count = 0) {
+  return link_bandwidth_run(grid, p, size, count).value;
 }
 
 #ifdef BENCH_HAVE_CIRCUIT
 
 /// Circuit-level ping-pong latency over a wired CircuitSet.
-inline double circuit_latency_us(gr::Grid& grid, gr::CircuitSet& set,
-                                 int rounds = 32) {
-  pc::SimTime t0 = grid.engine().now(), t1 = 0;
+inline Run circuit_latency_run(gr::Grid& grid, gr::CircuitSet& set,
+                               int rounds = 32, int warmup = 0) {
+  std::vector<pc::SimTime> stamps;
   int pongs = 0;
+  const int total = warmup + rounds;
   set.at(1).set_recv_handler([&](int, padico::mad::UnpackHandle&) {
     set.at(1).send(0, pc::view_of("o"));
   });
   set.at(0).set_recv_handler([&](int, padico::mad::UnpackHandle&) {
-    if (++pongs < rounds) {
-      set.at(0).send(1, pc::view_of("i"));
-    } else {
-      t1 = grid.engine().now();
-    }
+    ++pongs;
+    if (pongs >= warmup) stamps.push_back(grid.engine().now());
+    if (pongs < total) set.at(0).send(1, pc::view_of("i"));
   });
+  if (warmup == 0) stamps.push_back(grid.engine().now());
   set.at(0).send(1, pc::view_of("i"));
-  grid.engine().run_while_pending([&] { return pongs >= rounds; });
+  grid.engine().run_while_pending([&] { return pongs >= total; });
   // The handlers capture this frame's locals; don't leave them armed
   // on the caller's long-lived set.
   set.at(0).set_recv_handler({});
   set.at(1).set_recv_handler({});
-  return pc::to_micros(t1 - t0) / (2.0 * rounds);
+  Run run;
+  run.warmup = warmup;
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    run.samples.push_back(pc::to_micros(stamps[i] - stamps[i - 1]) / 2.0);
+  }
+  run.value = pc::to_micros(stamps.back() - stamps.front()) / (2.0 * rounds);
+  return run;
 }
 
-inline double circuit_bandwidth_mbps(gr::Grid& grid, gr::CircuitSet& set,
-                                     std::size_t size) {
+inline double circuit_latency_us(gr::Grid& grid, gr::CircuitSet& set,
+                                 int rounds = 32) {
+  return circuit_latency_run(grid, set, rounds).value;
+}
+
+inline Run circuit_bandwidth_run(gr::Grid& grid, gr::CircuitSet& set,
+                                 std::size_t size) {
   const int count = message_count(size);
-  pc::SimTime t0 = 0, t1 = 0;
+  const int windows = std::min(kBwWindows, count);
+  pc::SimTime t0 = 0;
+  std::vector<pc::SimTime> marks;
   int received = 0;
+  int next_edge = 0;
   set.at(1).set_recv_handler([&](int, padico::mad::UnpackHandle&) {
-    if (++received == count) t1 = grid.engine().now();
+    ++received;
+    if (received == window_edge(count, windows, next_edge)) {
+      marks.push_back(grid.engine().now());
+      ++next_edge;
+    }
   });
   pc::Bytes payload(size, 0x22);
   // Stamp t0 at the sender, right before the first send — the
@@ -455,7 +867,25 @@ inline double circuit_bandwidth_mbps(gr::Grid& grid, gr::CircuitSet& set,
   for (int i = 0; i < count; ++i) set.at(0).send(1, pc::view_of(payload));
   grid.engine().run_while_pending([&] { return received >= count; });
   set.at(1).set_recv_handler({});  // captured this frame's locals
-  return mbps(static_cast<std::uint64_t>(size) * count, t1 - t0);
+  Run run;
+  pc::SimTime prev = t0;
+  int prev_edge = 0;
+  for (int w = 0; w < windows; ++w) {
+    const int edge = window_edge(count, windows, w);
+    run.samples.push_back(
+        mbps(static_cast<std::uint64_t>(edge - prev_edge) * size,
+             marks[static_cast<std::size_t>(w)] - prev));
+    prev = marks[static_cast<std::size_t>(w)];
+    prev_edge = edge;
+  }
+  run.value = mbps(static_cast<std::uint64_t>(size) * count,
+                   marks.back() - t0);
+  return run;
+}
+
+inline double circuit_bandwidth_mbps(gr::Grid& grid, gr::CircuitSet& set,
+                                     std::size_t size) {
+  return circuit_bandwidth_run(grid, set, size).value;
 }
 
 #endif  // BENCH_HAVE_CIRCUIT

@@ -12,6 +12,7 @@ bool Engine::step() {
   auto node = events_.extract(events_.begin());
   now_ = node.key().first;
   ++processed_;
+  events_counter_->add();
   node.mapped()();
   return true;
 }

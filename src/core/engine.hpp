@@ -14,6 +14,8 @@
 #include <utility>
 
 #include "core/time.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace padico::core {
 
@@ -47,6 +49,17 @@ class Engine {
   /// Total events dispatched since construction.
   std::uint64_t processed() const noexcept { return processed_; }
 
+  /// This engine's metrics registry — every layer above records its
+  /// named counters/gauges/histograms here (virtual-time only, so the
+  /// determinism digest is unaffected).
+  obs::Registry& obs() noexcept { return obs_; }
+  const obs::Registry& obs() const noexcept { return obs_; }
+
+  /// This engine's span/instant tracer (off unless a categories mask
+  /// is enabled; see obs/trace.hpp).
+  obs::Tracer& tracer() noexcept { return tracer_; }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
   /// Dispatch the earliest event, advancing `now()`.  Returns false if
   /// the queue was empty.
   bool step();
@@ -74,6 +87,9 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+  obs::Registry obs_{&now_};
+  obs::Tracer tracer_{&now_};
+  obs::Counter* events_counter_ = &obs_.counter("engine.events");
 };
 
 }  // namespace padico::core

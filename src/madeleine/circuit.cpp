@@ -77,6 +77,13 @@ Circuit::Circuit(std::string name, Group group, int rank, net::Tag tag,
                          [this](core::NodeId src, mad::UnpackHandle& h) {
                            on_channel_message(src, h);
                          });
+  core::Engine& engine = mad_->host().engine();
+  obs::Registry& reg = engine.obs();
+  obs_sends_ = &reg.counter("circuit.sends");
+  obs_recvs_ = &reg.counter("circuit.recvs");
+  obs_dropped_ = &reg.counter("circuit.dropped");
+  trace_send_ = engine.tracer().intern(name_ + ".send");
+  trace_recv_ = engine.tracer().intern(name_ + ".recv");
   if (rank_ == 0) {
     // The root rendezvous: established once every other member's
     // connect has been accepted.
@@ -138,7 +145,15 @@ void Circuit::end(mad::PackHandle handle) {
       tag_, node_, seq_.next(static_cast<int>(dst_rank)),
       wire::FrameType::data)));
   ++sent_;
+  obs_sends_->add();
+  mad_->host().engine().tracer().instant(
+      obs::Cat::circuit, trace_send_, static_cast<std::uint32_t>(node_));
   mad_->end_packing(std::move(handle));
+}
+
+void Circuit::drop() noexcept {
+  ++dropped_;
+  obs_dropped_->add();
 }
 
 void Circuit::send(int dst_rank, core::ByteView data, mad::SendMode mode) {
@@ -152,7 +167,7 @@ void Circuit::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
   const std::optional<wire::Header> h =
       wire::decode(handle.unpack(wire::kHeaderSize));
   if (!h || src_rank < 0) {
-    ++dropped_;
+    drop();
     return;
   }
   switch (h->type) {
@@ -160,7 +175,7 @@ void Circuit::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
       // Root side of the handshake.  A connect must quote this
       // circuit's tag, rendezvous port and channel id.
       if (rank_ != 0 || src_rank == 0) {
-        ++dropped_;
+        drop();
         return;
       }
       const bool matches = h->src_port == tag_ && h->dst_port == port_ &&
@@ -168,7 +183,7 @@ void Circuit::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
       send_control(src, matches ? wire::FrameType::accept
                                 : wire::FrameType::refuse);
       if (!matches) {
-        ++dropped_;
+        drop();
         return;
       }
       accepted_[src_rank] = true;
@@ -177,7 +192,7 @@ void Circuit::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
     }
     case wire::FrameType::accept:
       if (rank_ == 0 || src_rank != 0) {
-        ++dropped_;
+        drop();
         return;
       }
       established_ = true;
@@ -185,20 +200,21 @@ void Circuit::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
     case wire::FrameType::refuse:
       // Only the root refuses, and only non-roots can be refused.
       if (rank_ == 0 || src_rank != 0) {
-        ++dropped_;
+        drop();
         return;
       }
       refused_ = true;
       return;
     case wire::FrameType::data: {
       if (h->src_port != tag_ || h->dst_port != tag_) {
-        ++dropped_;
+        drop();
         return;
       }
       // Contiguous per-source sequence; on a reliable SAN a gap means
       // circuit wiring can no longer be trusted.
       seq_.observe(src_rank, h->conn_id);
       ++received_;
+      obs_recvs_->add();
       // Hand off to the node's I/O manager: the handler runs when the
       // arbitration pump schedules it, competing with SysIO/MadIO
       // events.  (shared_ptr because std::function needs a copyable
@@ -210,15 +226,18 @@ void Circuit::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
           [this, src_rank, owned = std::move(owned), alive = alive_] {
             if (!*alive) return;
             if (!handler_) {
-              ++dropped_;
+              drop();
               return;
             }
+            obs::Scope scope(mad_->host().engine().tracer(),
+                             obs::Cat::circuit, trace_recv_,
+                             static_cast<std::uint32_t>(node_));
             handler_(src_rank, *owned);
           });
       return;
     }
     default:
-      ++dropped_;
+      drop();
       return;
   }
 }

@@ -48,6 +48,7 @@
 #include "madeleine/madeleine.hpp"
 #include "net/seqbook.hpp"
 #include "net/tag.hpp"
+#include "obs/registry.hpp"
 
 namespace padico::net {
 class NetAccess;
@@ -155,6 +156,7 @@ class Circuit {
  private:
   void on_channel_message(core::NodeId src, mad::UnpackHandle& handle);
   void send_control(core::NodeId dst, vlink::wire::FrameType type);
+  void drop() noexcept;  // count one discarded message (both books)
 
   std::string name_;
   Group group_;
@@ -178,6 +180,13 @@ class Circuit {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_ = 0;
+  // obs instrumentation (the engine is reached through the Madeleine's
+  // host; trace names are interned "<circuit-name>.send/.recv").
+  obs::Counter* obs_sends_;
+  obs::Counter* obs_recvs_;
+  obs::Counter* obs_dropped_;
+  const char* trace_send_;
+  const char* trace_recv_;
 };
 
 }  // namespace padico::circuit

@@ -154,13 +154,11 @@ class Personality {
 
   /// Charge the per-message send/receive cost for `bytes` of payload
   /// to this personality's serialized CPU; returns the completion
-  /// instant to schedule the resulting transport activity at.
-  core::SimTime charge_send(std::size_t bytes) {
-    return clock_.reserve(costs_.send_cost(bytes));
-  }
-  core::SimTime charge_recv(std::size_t bytes) {
-    return clock_.reserve(costs_.recv_cost(bytes));
-  }
+  /// instant to schedule the resulting transport activity at.  Each
+  /// charge totals into the registry ("cpu.<name>.ns") and traces as a
+  /// personality-category span covering the reserved CPU slice.
+  core::SimTime charge_send(std::size_t bytes);
+  core::SimTime charge_recv(std::size_t bytes);
 
  protected:
   Personality(std::string name, CostModel costs, core::Engine& engine);
@@ -175,12 +173,20 @@ class Personality {
   virtual void unpublish(grid::Node& node) noexcept;
 
  private:
+  core::SimTime charge(core::Duration cost, const char* trace_name,
+                       std::uint64_t bytes);
+
   std::string name_;
   CostModel costs_;
   core::Engine* engine_;
   CostClock clock_;
   grid::Node* node_ = nullptr;
   std::vector<net::Tag> tags_;
+  // obs instrumentation: total virtual CPU charged, and the interned
+  // "<name>.send"/"<name>.recv" span names.
+  obs::Counter* obs_cpu_ns_;
+  const char* trace_send_;
+  const char* trace_recv_;
 };
 
 }  // namespace padico::middleware

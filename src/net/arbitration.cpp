@@ -5,6 +5,16 @@
 
 namespace padico::net {
 
+Arbitration::Arbitration(core::Engine& engine) : engine_(&engine) {
+  obs::Registry& reg = engine.obs();
+  obs_turns_ = &reg.counter("arb.pump_turns");
+  obs_switches_ = &reg.counter("arb.switches");
+  obs_dispatch_[0] = &reg.counter("arb.dispatch.sys");
+  obs_dispatch_[1] = &reg.counter("arb.dispatch.mad");
+  obs_dispatch_ns_[0] = &reg.counter("arb.dispatch_ns.sys");
+  obs_dispatch_ns_[1] = &reg.counter("arb.dispatch_ns.mad");
+}
+
 void Arbitration::set_policy(int sys_weight, int mad_weight) {
   weight_[0] = std::max(1, sys_weight);
   weight_[1] = std::max(1, mad_weight);
@@ -22,6 +32,7 @@ void Arbitration::enqueue(Substrate s, std::function<void()> fn) {
 void Arbitration::pump() {
   // One poll iteration.  The choice of substrate is made here, at poll
   // time, so events queued since the iteration was scheduled count.
+  obs_turns_->add();
   const bool have_cur = !queue_[cur_].empty();
   const bool have_other = !queue_[1 - cur_].empty();
   if (!have_cur && !have_other) {
@@ -34,6 +45,8 @@ void Arbitration::pump() {
     // Poll the other substrate: pay the switch cost, then re-decide.
     cur_ = 1 - cur_;
     credit_ = weight_[cur_];
+    obs_switches_->add();
+    engine_->tracer().instant(obs::Cat::arbitration, "arb.switch");
     engine_->schedule_after(switch_cost_, [this] { pump(); });
     return;
   }
@@ -42,6 +55,15 @@ void Arbitration::pump() {
   queue_[cur_].pop_front();
   --credit_;
   ++dispatched_[cur_];
+  obs_dispatch_[cur_]->add();
+  obs_dispatch_ns_[cur_]->add(dispatch_cost_);
+  // The dispatched event occupies the pump until the next poll
+  // iteration — that slice is the per-substrate dispatch cost.
+  engine_->tracer().complete(
+      obs::Cat::arbitration,
+      cur_ == static_cast<int>(Substrate::mad) ? "arb.dispatch.mad"
+                                               : "arb.dispatch.sys",
+      engine_->now(), dispatch_cost_);
   fn();
   engine_->schedule_after(dispatch_cost_, [this] { pump(); });
 }

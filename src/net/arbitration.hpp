@@ -35,7 +35,7 @@ enum class Substrate : std::uint8_t { sys = 0, mad = 1 };
 
 class Arbitration {
  public:
-  explicit Arbitration(core::Engine& engine) : engine_(&engine) {}
+  explicit Arbitration(core::Engine& engine);
   Arbitration(const Arbitration&) = delete;
   Arbitration& operator=(const Arbitration&) = delete;
 
@@ -77,6 +77,12 @@ class Arbitration {
   int credit_ = 1;
   bool pumping_ = false;
   std::uint64_t dispatched_[2] = {0, 0};
+  // obs instrumentation (cached registry slots; see DESIGN.md
+  // "Observability" for the name scheme).
+  obs::Counter* obs_turns_;
+  obs::Counter* obs_switches_;
+  obs::Counter* obs_dispatch_[2];
+  obs::Counter* obs_dispatch_ns_[2];
 };
 
 }  // namespace padico::net

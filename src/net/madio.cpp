@@ -10,12 +10,35 @@ namespace wire = vlink::wire;
 
 MadIO::MadIO(NetAccess& access, mad::Madeleine& madeleine,
              bool header_combining)
-    : access_(&access), mad_(&madeleine), combining_(header_combining) {
+    : access_(&access),
+      mad_(&madeleine),
+      engine_(&access.host().engine()),
+      combining_(header_combining) {
   channel_ = mad_->open_channel();
   mad_->set_recv_handler(*channel_,
                          [this](core::NodeId src, mad::UnpackHandle& h) {
                            on_channel_message(src, h);
                          });
+  obs::Registry& reg = engine_->obs();
+  obs_sends_ = &reg.counter("madio.sends");
+  obs_combined_ = &reg.counter("madio.hdr.combined");
+  obs_split_ = &reg.counter("madio.hdr.split");
+  obs_dispatches_ = &reg.counter("madio.dispatches");
+  obs_dropped_ = &reg.counter("madio.dropped");
+  obs_depth_ = &reg.histogram("madio.queue_depth");
+  obs_bytes_ = &reg.histogram("madio.msg_bytes");
+}
+
+obs::Gauge& MadIO::tag_pending(Tag tag) {
+  auto it = tag_gauges_.find(tag);
+  if (it == tag_gauges_.end()) {
+    it = tag_gauges_
+             .emplace(tag, &engine_->obs().gauge("madio.tag." +
+                                                 std::to_string(tag) +
+                                                 ".pending"))
+             .first;
+  }
+  return *it->second;
 }
 
 void MadIO::open_logical(Tag tag) { handlers_.try_emplace(tag); }
@@ -96,6 +119,12 @@ void MadIO::end(mad::PackHandle handle, Tag tag, core::NodeId dst) {
   assert(handle.context() == tag && "MadIO::end(): tag differs from begin()");
   (void)tag;
   (void)dst;
+  obs_sends_->add();
+  if (combining_) {
+    obs_combined_->add();
+  } else {
+    obs_split_->add();
+  }
   if (!combining_) {
     // Naive multiplexing: the control header is its own hardware
     // message, the payload follows bare.  The SAN driver's per-dst
@@ -122,11 +151,13 @@ void MadIO::on_channel_message(core::NodeId src, mad::UnpackHandle& handle) {
       wire::decode(handle.unpack(wire::kHeaderSize));
   if (!h) {
     ++dropped_;
+    obs_dropped_->add();
     return;
   }
   if (h->type != wire::FrameType::header &&
       h->type != wire::FrameType::data) {
     ++dropped_;
+    obs_dropped_->add();
     return;
   }
   // The sender stamps a contiguous per-(tag, destination) sequence into
@@ -143,13 +174,27 @@ void MadIO::dispatch(Tag tag, core::NodeId src, mad::UnpackHandle handle) {
   // Hand off to the node's I/O manager; the tag handler runs when the
   // arbitration policy says so.  (shared_ptr because std::function
   // requires a copyable closure; the handle itself is move-only.)
+  obs::Gauge& pending = tag_pending(tag);
+  pending.add(1);
+  obs_depth_->record(static_cast<std::uint64_t>(pending.value()));
+  obs_bytes_->record(handle.remaining());
+  const core::SimTime t_post = engine_->now();
   auto owned = std::make_shared<mad::UnpackHandle>(std::move(handle));
-  access_->post_mad([this, tag, src, owned = std::move(owned)] {
+  access_->post_mad([this, tag, src, owned = std::move(owned), t_post,
+                     &pending] {
+    pending.add(-1);
+    obs_dispatches_->add();
+    // The queued span covers hand-off to the arbitration up to the
+    // moment the tag handler starts running.
+    engine_->tracer().complete(obs::Cat::madio, "madio.queued", t_post,
+                               engine_->now() - t_post);
     auto it = handlers_.find(tag);
     if (it == handlers_.end() || !it->second) {
       ++dropped_;
+      obs_dropped_->add();
       return;
     }
+    obs::Scope scope(engine_->tracer(), obs::Cat::madio, "madio.dispatch");
     it->second(src, *owned);
   });
 }

@@ -118,10 +118,25 @@ class MadIO {
   core::Bytes make_header(Tag tag, core::NodeId dst,
                           vlink::wire::FrameType type);
 
+  /// The per-tag pending gauge (`madio.tag.<tag>.pending`), created on
+  /// first use; measures messages handed to the arbitration but not
+  /// yet run — the per-tag queue depth upper layers tune against.
+  obs::Gauge& tag_pending(Tag tag);
+
   NetAccess* access_;
   mad::Madeleine* mad_;
   mad::Channel* channel_;
+  core::Engine* engine_;
   bool combining_;
+  // obs instrumentation (cached registry slots).
+  obs::Counter* obs_sends_;
+  obs::Counter* obs_combined_;
+  obs::Counter* obs_split_;
+  obs::Counter* obs_dispatches_;
+  obs::Counter* obs_dropped_;
+  obs::Histogram* obs_depth_;
+  obs::Histogram* obs_bytes_;
+  std::map<Tag, obs::Gauge*> tag_gauges_;
   std::map<Tag, Handler> handlers_;
   std::map<Tag, std::string> owners_;  // claimed tags (claim_tag)
   // Send keyed (tag, destination), receive keyed (tag, source).

@@ -1,0 +1,43 @@
+// Trace/metric categories of the padico::obs layer, one bit per layer
+// of the stack.  The Tracer gates every record on a single
+// enabled-categories mask, so instrumentation in a hot path compiles
+// down to one load-and-branch when its category is off.
+#pragma once
+
+#include <cstdint>
+
+namespace padico::obs {
+
+/// One bit per instrumented layer (see DESIGN.md "Observability").
+enum class Cat : std::uint32_t {
+  engine = 1u << 0,       // event-queue activity
+  simnet = 1u << 1,       // simulated wire transmissions
+  vlink = 1u << 2,        // vlink frames (all FrameDriver transports)
+  madio = 1u << 3,        // MadIO tag multiplexing
+  arbitration = 1u << 4,  // SysIO/MadIO pump dispatches
+  circuit = 1u << 5,      // Madeleine circuit endpoints
+  personality = 1u << 6,  // middleware CPU charges
+};
+
+inline constexpr std::uint32_t kAllCats = 0x7f;
+
+constexpr std::uint32_t bit(Cat c) noexcept {
+  return static_cast<std::uint32_t>(c);
+}
+
+/// Stable lower-case name, used in snapshots and the Chrome trace
+/// "cat" field.
+constexpr const char* cat_name(Cat c) noexcept {
+  switch (c) {
+    case Cat::engine: return "engine";
+    case Cat::simnet: return "simnet";
+    case Cat::vlink: return "vlink";
+    case Cat::madio: return "madio";
+    case Cat::arbitration: return "arbitration";
+    case Cat::circuit: return "circuit";
+    case Cat::personality: return "personality";
+  }
+  return "unknown";
+}
+
+}  // namespace padico::obs

@@ -1,0 +1,9 @@
+// Umbrella header for padico::obs — the always-compiled observability
+// layer: per-Engine metrics registry (obs/registry.hpp) and bounded
+// ring-buffer tracing with Perfetto export (obs/trace.hpp).  See
+// DESIGN.md "Observability".
+#pragma once
+
+#include "obs/category.hpp"   // IWYU pragma: export
+#include "obs/registry.hpp"   // IWYU pragma: export
+#include "obs/trace.hpp"      // IWYU pragma: export

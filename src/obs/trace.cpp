@@ -1,0 +1,198 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace padico::obs {
+
+namespace {
+
+std::uint32_t g_default_mask = 0;
+std::uint32_t g_next_pid = 0;
+TraceSink* g_sink = nullptr;
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// One trace event as a Chrome trace-event object.  Timestamps are
+/// microseconds in that format; virtual nanoseconds divide exactly
+/// into %.3f microseconds, so the export is lossless.
+void append_chrome_event(std::string& out, const TraceEvent& ev,
+                         std::uint32_t pid) {
+  char buf[96];
+  out += "{\"name\":\"";
+  append_json_escaped(out, ev.name);
+  out += "\",\"cat\":\"";
+  out += cat_name(ev.cat);
+  out += "\",\"ph\":\"";
+  out += static_cast<char>(ev.type);
+  out += "\"";
+  std::snprintf(buf, sizeof buf, ",\"ts\":%.3f",
+                static_cast<double>(ev.ts) / 1e3);
+  out += buf;
+  if (ev.type == EventType::complete) {
+    std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
+                  static_cast<double>(ev.dur) / 1e3);
+    out += buf;
+  }
+  if (ev.type == EventType::instant) out += ",\"s\":\"t\"";
+  std::snprintf(buf, sizeof buf, ",\"pid\":%u,\"tid\":%u", pid, ev.track);
+  out += buf;
+  if (ev.type == EventType::count) {
+    std::snprintf(buf, sizeof buf, ",\"args\":{\"value\":%" PRIu64 "}", ev.arg);
+    out += buf;
+  } else if (ev.has_arg) {
+    std::snprintf(buf, sizeof buf, ",\"args\":{\"arg\":%" PRIu64 "}", ev.arg);
+    out += buf;
+  }
+  out += "}";
+}
+
+void append_digest_event(std::string& out, const TraceEvent& ev) {
+  char buf[96];
+  out += static_cast<char>(ev.type);
+  std::snprintf(buf, sizeof buf, " %" PRIu64, ev.ts);
+  out += buf;
+  if (ev.type == EventType::complete) {
+    std::snprintf(buf, sizeof buf, "+%" PRIu64, ev.dur);
+    out += buf;
+  }
+  out += ' ';
+  out += cat_name(ev.cat);
+  out += ' ';
+  out += ev.name;
+  std::snprintf(buf, sizeof buf, " t%u", ev.track);
+  out += buf;
+  if (ev.has_arg) {
+    std::snprintf(buf, sizeof buf, " a=%" PRIu64, ev.arg);
+    out += buf;
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+void set_default_trace_mask(std::uint32_t mask) noexcept {
+  g_default_mask = mask;
+}
+std::uint32_t default_trace_mask() noexcept { return g_default_mask; }
+
+void set_global_trace_sink(TraceSink* sink) noexcept { g_sink = sink; }
+TraceSink* global_trace_sink() noexcept { return g_sink; }
+
+Tracer::Tracer(const core::SimTime* clock)
+    : clock_(clock), mask_(g_default_mask), pid_(g_next_pid++) {}
+
+Tracer::~Tracer() {
+  if (g_sink != nullptr && !buffer_.empty()) g_sink->absorb(*this);
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  if (cap == 0) cap = 1;
+  std::vector<TraceEvent> kept = events();
+  if (kept.size() > cap) {
+    dropped_ += kept.size() - cap;
+    kept.erase(kept.begin(),
+               kept.begin() + static_cast<std::ptrdiff_t>(kept.size() - cap));
+  }
+  capacity_ = cap;
+  buffer_ = std::move(kept);
+  head_ = 0;
+}
+
+const char* Tracer::intern(std::string_view s) {
+  auto it = interned_.find(s);
+  if (it == interned_.end()) it = interned_.emplace(s).first;
+  return it->c_str();
+}
+
+void Tracer::record(TraceEvent ev) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(ev);
+    return;
+  }
+  // Ring full: overwrite the oldest event.
+  buffer_[head_] = ev;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Tracer::clear() {
+  buffer_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::chrome_json(std::uint32_t pid) const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& ev : events()) {
+    if (!first) out += ",\n";
+    first = false;
+    append_chrome_event(out, ev, pid);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::digest() const {
+  std::string out;
+  for (const TraceEvent& ev : events()) append_digest_event(out, ev);
+  return out;
+}
+
+void TraceSink::absorb(const Tracer& tracer) {
+  for (TraceEvent ev : tracer.events()) {
+    // Re-home the name: the tracer's intern store (or the engine that
+    // transitively owns the literal) may die before the export.
+    auto it = interned_.find(ev.name);
+    if (it == interned_.end()) it = interned_.emplace(ev.name).first;
+    ev.name = it->c_str();
+    events_.push_back({tracer.pid(), ev});
+  }
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  interned_.clear();
+}
+
+std::string TraceSink::chrome_json() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const Entry& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    append_chrome_event(out, e.ev, e.pid);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace padico::obs

@@ -7,7 +7,14 @@
 namespace padico::simnet {
 
 Network::Network(core::Engine& engine, LinkModel model, std::uint64_t seed)
-    : engine_(&engine), model_(std::move(model)), rng_(seed) {}
+    : engine_(&engine), model_(std::move(model)), rng_(seed) {
+  obs::Registry& reg = engine.obs();
+  const std::string prefix = "net." + model_.name;
+  obs_msgs_ = &reg.counter(prefix + ".msgs");
+  obs_bytes_ = &reg.counter(prefix + ".bytes");
+  obs_dropped_ = &reg.counter(prefix + ".dropped");
+  trace_name_ = engine.tracer().intern(prefix);
+}
 
 void Network::attach(core::NodeId node) { endpoints_.try_emplace(node); }
 
@@ -52,6 +59,11 @@ core::Result<core::SimTime> Network::send(core::NodeId src, core::NodeId dst,
 
   ++messages_sent_;
   bytes_sent_ += payload.size();
+  obs_msgs_->add();
+  obs_bytes_->add(payload.size());
+  // Wire-occupancy span: the sender NIC is busy [start, start + tx).
+  engine_->tracer().complete(obs::Cat::simnet, trace_name_, start, tx,
+                             static_cast<std::uint32_t>(src), payload.size());
 
   bool lost = false;
   if (model_.loss_rate > 0.0) {
@@ -61,6 +73,7 @@ core::Result<core::SimTime> Network::send(core::NodeId src, core::NodeId dst,
   }
   if (lost) {
     ++messages_dropped_;
+    obs_dropped_->add();
     return arrival;
   }
 
@@ -71,6 +84,7 @@ core::Result<core::SimTime> Network::send(core::NodeId src, core::NodeId dst,
           it->second.recv(src, std::move(payload));
         } else {
           ++messages_dropped_;
+          obs_dropped_->add();
         }
       });
   return arrival;

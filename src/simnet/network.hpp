@@ -83,6 +83,12 @@ class Network {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  // obs instrumentation, keyed by the profile name so a multi-network
+  // fabric keeps its media apart ("net.SAN.msgs", "net.WAN.bytes"...).
+  obs::Counter* obs_msgs_;
+  obs::Counter* obs_bytes_;
+  obs::Counter* obs_dropped_;
+  const char* trace_name_;  // interned "net.<profile>" span name
 };
 
 /// The collection of simulated networks driven by one engine.

@@ -28,6 +28,10 @@ class FrameDriver::FrameLink final : public Link {
  protected:
   void send_bytes(core::ByteView data) override {
     if (!drv_) return;
+    drv_->obs_tx_frames_->add();
+    drv_->obs_tx_bytes_->add(data.size());
+    drv_->host_->engine().tracer().instant_arg(
+        obs::Cat::vlink, "vlink.tx", data.size(), drv_->host_->id());
     wire::Header h{wire::FrameType::data, local_port(), remote_port(),
                    drv_->host_->id(), conn_id_};
     drv_->emit(remote_node(), h, data);
@@ -43,7 +47,13 @@ class FrameDriver::FrameLink final : public Link {
 // ---------------------------------------------------------------------------
 
 FrameDriver::FrameDriver(core::Host& host, std::string name)
-    : Driver(std::move(name)), host_(&host) {}
+    : Driver(std::move(name)), host_(&host) {
+  obs::Registry& reg = host.engine().obs();
+  obs_tx_frames_ = &reg.counter("vlink.tx.frames");
+  obs_tx_bytes_ = &reg.counter("vlink.tx.bytes");
+  obs_rx_frames_ = &reg.counter("vlink.rx.frames");
+  obs_rx_bytes_ = &reg.counter("vlink.rx.bytes");
+}
 
 FrameDriver::~FrameDriver() {
   for (auto& [conn, link] : links_) link->detach();
@@ -125,6 +135,12 @@ void FrameDriver::handle_frame(core::NodeId src, core::ByteView frame) {
     case wire::FrameType::data: {
       auto it = links_.find(h.conn_id);
       if (it == links_.end()) return;  // stale connection; drop
+      obs_rx_frames_->add();
+      obs_rx_bytes_->add(payload.size());
+      // The rx span covers stream reassembly plus every continuation
+      // the delivery resumes.
+      obs::Scope scope(host_->engine().tracer(), obs::Cat::vlink, "vlink.rx",
+                       host_->id());
       it->second->receive(payload);
       return;
     }

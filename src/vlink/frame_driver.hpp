@@ -67,6 +67,12 @@ class FrameDriver : public Driver {
   std::uint64_t next_conn_ = 1;
   std::uint64_t malformed_ = 0;
   core::Port next_ephemeral_ = 49152;
+  // obs instrumentation: node-wide vlink traffic totals (per-link
+  // totals live on the Link itself).
+  obs::Counter* obs_tx_frames_;
+  obs::Counter* obs_tx_bytes_;
+  obs::Counter* obs_rx_frames_;
+  obs::Counter* obs_rx_bytes_;
 };
 
 }  // namespace padico::vlink

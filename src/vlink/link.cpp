@@ -8,6 +8,8 @@ void Link::post_write(const core::IoVec& iov) {
   // One wire message preserves the gather boundary end-to-end; the
   // flatten is the single copy onto the simulated wire.
   core::Bytes flat = iov.flatten();
+  ++tx_frames_;
+  tx_bytes_ += flat.size();
   send_bytes(core::view_of(flat));
 }
 
@@ -22,6 +24,8 @@ core::Completion<core::Bytes> Link::read_n(std::size_t n) {
 }
 
 void Link::deliver(core::ByteView data) {
+  ++rx_frames_;
+  rx_bytes_ += data.size();
   rx_buf_.insert(rx_buf_.end(), data.begin(), data.end());
   drain();
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 
 #include "core/bytes.hpp"
@@ -33,7 +34,11 @@ class Link {
 
   /// Queue `data` for transmission and return immediately; the wire
   /// paces delivery in virtual time.  Bytes arrive in post order.
-  void post_write(core::ByteView data) { send_bytes(data); }
+  void post_write(core::ByteView data) {
+    ++tx_frames_;
+    tx_bytes_ += data.size();
+    send_bytes(data);
+  }
 
   /// Gather variant: the segments travel as one wire message.
   void post_write(const core::IoVec& iov);
@@ -52,6 +57,12 @@ class Link {
 
   /// Bytes buffered and not yet claimed by a read.
   std::size_t available() const noexcept { return rx_buf_.size() - rx_head_; }
+
+  /// Per-link traffic totals (writes posted / deliveries received).
+  std::uint64_t tx_frames() const noexcept { return tx_frames_; }
+  std::uint64_t tx_bytes() const noexcept { return tx_bytes_; }
+  std::uint64_t rx_frames() const noexcept { return rx_frames_; }
+  std::uint64_t rx_bytes() const noexcept { return rx_bytes_; }
 
  protected:
   /// Transport hook: actually emit `data` towards the peer.
@@ -75,6 +86,10 @@ class Link {
   core::Bytes rx_buf_;
   std::size_t rx_head_ = 0;
   std::deque<PendingRead> pending_;
+  std::uint64_t tx_frames_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t rx_bytes_ = 0;
 };
 
 }  // namespace padico::vlink

@@ -63,15 +63,22 @@ std::optional<SubHeader> decode_sub(core::ByteView frame) {
 // PstreamLink
 // ---------------------------------------------------------------------------
 
-PstreamLink::PstreamLink(core::NodeId remote_node, core::Port local_port,
-                         core::Port remote_port,
+PstreamLink::PstreamLink(core::Engine& engine, core::NodeId remote_node,
+                         core::Port local_port, core::Port remote_port,
                          std::vector<std::unique_ptr<Link>> subs)
-    : Link(remote_node, local_port, remote_port) {
+    : Link(remote_node, local_port, remote_port), engine_(&engine) {
   assert(!subs.empty() && "pstream link needs at least one sub-link");
+  obs::Registry& reg = engine.obs();
+  obs_chunks_ = &reg.counter("pstream.chunks");
+  obs_chunk_bytes_ = &reg.histogram("pstream.chunk_bytes");
   subs_.reserve(subs.size());
   for (auto& s : subs) {
     Sub sub;
     sub.link = std::move(s);
+    // Striping balance: one tx-bytes counter per sub-link slot (slots
+    // are shared across links of a node, which is the useful view).
+    sub.obs_tx = &reg.counter("pstream.sub." + std::to_string(subs_.size()) +
+                              ".tx_bytes");
     subs_.push_back(std::move(sub));
   }
   // Readers start only once subs_ is complete: a sub-link may already
@@ -84,6 +91,7 @@ PstreamLink::PstreamLink(core::NodeId remote_node, core::Port local_port,
 
 void PstreamLink::send_bytes(core::ByteView data) {
   if (data.empty()) return;  // no stream bytes, nothing to stripe
+  obs::Scope scope(engine_->tracer(), obs::Cat::vlink, "pstream.stripe");
   std::size_t off = 0;
   while (off < data.size()) {
     const std::size_t len = std::min(pstream::kChunkSize, data.size() - off);
@@ -97,6 +105,9 @@ void PstreamLink::send_bytes(core::ByteView data) {
     iov.append_ref(data.subview(off, len));
     s.link->post_write(iov);
     s.tx_bytes += len;
+    s.obs_tx->add(len);
+    obs_chunks_->add();
+    obs_chunk_bytes_->record(len);
     ++next_send_seq_;
     off += len;
   }
@@ -235,8 +246,9 @@ void PstreamDriver::connect(const RemoteAddr& remote, ConnectFn on_connect) {
           pc->subs[static_cast<std::size_t>(i)] = std::move(sub);
           if (++pc->connected == pc->width) {
             auto link = std::make_unique<PstreamLink>(
-                pc->remote.node, pc->subs.front()->local_port(),
-                pc->remote.port, std::move(pc->subs));
+                host_->engine(), pc->remote.node,
+                pc->subs.front()->local_port(), pc->remote.port,
+                std::move(pc->subs));
             pc->fn(core::Result<std::unique_ptr<Link>>(std::move(link)));
           }
         });
@@ -275,8 +287,8 @@ core::Task PstreamDriver::read_hello(std::uint64_t key,
         } else {
           Link* first = done.slots.front().get();
           auto link = std::make_unique<PstreamLink>(
-              first->remote_node(), logical_port, first->remote_port(),
-              std::move(done.slots));
+              host_->engine(), first->remote_node(), logical_port,
+              first->remote_port(), std::move(done.slots));
           lit->second(std::move(link));
         }
       }

@@ -122,8 +122,8 @@ constexpr core::Port sub_port(core::Port p) {
 /// Drop the link from outside the delivery chain.
 class PstreamLink final : public Link {
  public:
-  PstreamLink(core::NodeId remote_node, core::Port local_port,
-              core::Port remote_port,
+  PstreamLink(core::Engine& engine, core::NodeId remote_node,
+              core::Port local_port, core::Port remote_port,
               std::vector<std::unique_ptr<Link>> subs);
 
   int width() const noexcept { return static_cast<int>(subs_.size()); }
@@ -146,16 +146,21 @@ class PstreamLink final : public Link {
     std::uint64_t tx_bytes = 0;
     std::uint64_t rx_bytes = 0;
     bool poisoned = false;
+    obs::Counter* obs_tx = nullptr;  // "pstream.sub.<i>.tx_bytes"
     core::Task reader;  // declared last: cancelled before the link dies
   };
 
   core::Task run_reader(std::size_t i);
 
+  core::Engine* engine_;
   std::vector<Sub> subs_;
   std::uint64_t next_send_seq_ = 0;
   std::uint64_t next_deliver_seq_ = 0;
   std::map<std::uint64_t, core::Bytes> reorder_;
   std::uint64_t malformed_ = 0;
+  // obs instrumentation: chunk counts and striping balance.
+  obs::Counter* obs_chunks_;
+  obs::Histogram* obs_chunk_bytes_;
 };
 
 class PstreamDriver final : public Driver {

@@ -6,6 +6,9 @@
 #include <memory>
 #include <vector>
 
+#include <optional>
+#include <string>
+
 #include "core/core.hpp"
 #include "grid/grid.hpp"
 #include "madeleine/circuit.hpp"
@@ -13,6 +16,7 @@
 #include "middleware/corba/orb.hpp"
 #include "middleware/mpi/mpi.hpp"
 #include "net/madio.hpp"
+#include "obs/obs.hpp"
 #include "selector/selector.hpp"
 #include "simnet/simnet.hpp"
 
@@ -171,11 +175,21 @@ TEST(Determinism, HeaderCombiningIsARealCodePathDifference) {
 
 namespace {
 
+/// Turns full tracing on for every engine built while alive (the
+/// default-mask hook new tracers pick up), restoring "off" after.
+struct ScopedTracing {
+  ScopedTracing() { padico::obs::set_default_trace_mask(padico::obs::kAllCats); }
+  ~ScopedTracing() { padico::obs::set_default_trace_mask(0); }
+};
+
 /// A 4-node circuit exercising multi-node groups: a token ring on one
 /// circuit racing a 2 KB pairwise burst on an overlapping second
 /// circuit, both arbitrated per node.  Returns every handler-dispatch
-/// timestamp in order.
-std::vector<pc::SimTime> circuit_ring_run() {
+/// timestamp in order.  With `trace_digest` non-null the run executes
+/// fully traced and leaves the tracer's stable digest there.
+std::vector<pc::SimTime> circuit_ring_run(std::string* trace_digest = nullptr) {
+  std::optional<ScopedTracing> tracing;
+  if (trace_digest != nullptr) tracing.emplace();
   gr::Grid grid;
   grid.add_nodes(4);
   sn::NetId san = grid.add_network(sn::profiles::myrinet2000());
@@ -216,6 +230,7 @@ std::vector<pc::SimTime> circuit_ring_run() {
     EXPECT_EQ(ring.at(r).seq_gaps(), 0u) << "rank " << r;
     EXPECT_EQ(ring.at(r).dropped(), 0u) << "rank " << r;
   }
+  if (trace_digest != nullptr) *trace_digest = grid.engine().tracer().digest();
   return stamps;
 }
 
@@ -312,7 +327,11 @@ namespace {
 /// CORBA invocations from cluster B into cluster A across the WAN
 /// (chooser-picked sysio, sys substrate).  Returns the event digest —
 /// every interesting timestamp in order, plus the engine event count.
-std::vector<pc::SimTime> personality_run() {
+/// With `trace_digest` non-null the run executes fully traced and
+/// leaves the tracer's stable digest there.
+std::vector<pc::SimTime> personality_run(std::string* trace_digest = nullptr) {
+  std::optional<ScopedTracing> tracing;
+  if (trace_digest != nullptr) tracing.emplace();
   gr::Grid grid;
   grid.add_nodes(4);
   sn::NetId sanA = grid.add_network(sn::profiles::myrinet2000());
@@ -384,6 +403,7 @@ std::vector<pc::SimTime> personality_run() {
   EXPECT_EQ(grid.node(0).mpi(), &c0);  // registry survives the run
   stamps.push_back(grid.engine().now());
   stamps.push_back(grid.engine().processed());
+  if (trace_digest != nullptr) *trace_digest = grid.engine().tracer().digest();
   return stamps;
 }
 
@@ -391,6 +411,34 @@ std::vector<pc::SimTime> personality_run() {
 
 TEST(Determinism, PersonalityTrafficDigestBitIdenticalAcrossRuns) {
   EXPECT_EQ(personality_run(), personality_run());
+}
+
+// --- Observability must not perturb the simulation -------------------------
+
+TEST(Determinism, CircuitRingUnchangedByTracing) {
+  const std::vector<pc::SimTime> untraced = circuit_ring_run();
+  std::string digest_a;
+  const std::vector<pc::SimTime> traced = circuit_ring_run(&digest_a);
+  // Recording is stamp-and-store only: full tracing cannot move a
+  // single virtual timestamp.
+  EXPECT_EQ(untraced, traced);
+  EXPECT_FALSE(digest_a.empty());
+  // And the trace itself is deterministic: a second traced run digests
+  // bit-identically.
+  std::string digest_b;
+  circuit_ring_run(&digest_b);
+  EXPECT_EQ(digest_a, digest_b);
+}
+
+TEST(Determinism, PersonalityTrafficUnchangedByTracing) {
+  const std::vector<pc::SimTime> untraced = personality_run();
+  std::string digest_a;
+  const std::vector<pc::SimTime> traced = personality_run(&digest_a);
+  EXPECT_EQ(untraced, traced);
+  EXPECT_FALSE(digest_a.empty());
+  std::string digest_b;
+  personality_run(&digest_b);
+  EXPECT_EQ(digest_a, digest_b);
 }
 
 TEST(Determinism, LossyNetworkStillDeterministic) {

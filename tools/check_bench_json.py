@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate bench results against checked-in baselines, and sanity-check traces.
+
+Baseline mode (default):
+
+    check_bench_json.py --baseline bench/baselines/BENCH_table1.json \
+                        --got bench-out/BENCH_table1.json [--tolerance 0.05]
+
+  Fails when either file is missing/invalid, when a baseline metric is
+  absent from the new results, or when a mean drifted outside the
+  relative tolerance band.  Metrics present only in the new results are
+  reported but don't fail (they become baseline on the next refresh).
+
+Trace mode:
+
+    check_bench_json.py --trace trace.json \
+                        --require-categories vlink,madio,arbitration,personality
+
+  Fails when the Chrome trace-event file is missing/empty or any
+  required category never appears in its events.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: {path}: file not found")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path}: invalid JSON: {e}")
+
+
+def check_bench(baseline_path, got_path, tolerance):
+    baseline = load(baseline_path)
+    got = load(got_path)
+    for doc, path in ((baseline, baseline_path), (got, got_path)):
+        if doc.get("schema") != 1 or "metrics" not in doc:
+            sys.exit(f"error: {path}: not a schema-1 bench report")
+
+    base_metrics = baseline["metrics"]
+    got_metrics = got["metrics"]
+    failures = []
+    for name, base in sorted(base_metrics.items()):
+        if name not in got_metrics:
+            failures.append(f"{name}: missing from {got_path}")
+            continue
+        b, g = base["mean"], got_metrics[name]["mean"]
+        band = tolerance * max(abs(b), 1e-12)
+        drift = g - b
+        status = "ok" if abs(drift) <= band else "FAIL"
+        rel = drift / b * 100 if b else float("inf")
+        print(f"{status:4} {name}: baseline {b:g}, got {g:g} ({rel:+.2f}%)")
+        if status == "FAIL":
+            failures.append(f"{name}: {b:g} -> {g:g} ({rel:+.2f}%, "
+                            f"tolerance ±{tolerance * 100:g}%)")
+    for name in sorted(set(got_metrics) - set(base_metrics)):
+        print(f"new  {name}: {got_metrics[name]['mean']:g} (no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {baseline_path}:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(base_metrics)} baseline metrics within "
+          f"±{tolerance * 100:g}% of {baseline_path}")
+    return 0
+
+
+def check_trace(trace_path, required):
+    doc = load(trace_path)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not events:
+        sys.exit(f"error: {trace_path}: no trace events")
+    seen = {e.get("cat") for e in events}
+    missing = [c for c in required if c not in seen]
+    print(f"{trace_path}: {len(events)} events, categories: "
+          f"{', '.join(sorted(c for c in seen if c))}")
+    if missing:
+        print(f"error: missing required categories: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", help="checked-in BENCH_*.json")
+    ap.add_argument("--got", help="freshly emitted BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative band around each baseline mean "
+                         "(default 0.05 = ±5%%)")
+    ap.add_argument("--trace", help="Chrome trace-event JSON to check")
+    ap.add_argument("--require-categories", default="",
+                    help="comma-separated categories the trace must contain")
+    args = ap.parse_args()
+
+    if args.trace:
+        required = [c for c in args.require_categories.split(",") if c]
+        sys.exit(check_trace(args.trace, required))
+    if not args.baseline or not args.got:
+        ap.error("need --baseline and --got (or --trace)")
+    sys.exit(check_bench(args.baseline, args.got, args.tolerance))
+
+
+if __name__ == "__main__":
+    main()
