@@ -39,6 +39,12 @@ double run(const sn::LinkModel& model, const pc::Bytes& payload, Mode mode) {
 
   LinkPair p = make_link_pair(grid, "adoc", 5000);
   auto* adoc = dynamic_cast<padico::vlink::AdocLink*>(p.a.get());
+  if (adoc == nullptr) {
+    std::fprintf(stderr,
+                 "bench_ablation_adoc: \"adoc\" connect did not yield an "
+                 "AdocLink\n");
+    std::exit(1);
+  }
   if (mode == Mode::stored) adoc->pin_level(cz::Level::stored);
   if (mode == Mode::lz) adoc->pin_level(cz::Level::lz);
 
@@ -56,27 +62,38 @@ double run(const sn::LinkModel& model, const pc::Bytes& payload, Mode mode) {
   return mbps(static_cast<std::uint64_t>(payload.size()) * count, t1 - t0);
 }
 
-void sweep(const char* net_name, const sn::LinkModel& model) {
+void sweep(bench::Session& session, const char* net_name, const char* key,
+           const sn::LinkModel& model) {
   const std::size_t n = 128 * 1024;
-  std::printf("%-22s %-14s %10.3f %10.3f %10.3f\n", net_name, "text",
-              run(model, text_payload(n), Mode::adaptive),
-              run(model, text_payload(n), Mode::stored),
-              run(model, text_payload(n), Mode::lz));
-  std::printf("%-22s %-14s %10.3f %10.3f %10.3f\n", net_name, "random",
-              run(model, random_payload(n), Mode::adaptive),
-              run(model, random_payload(n), Mode::stored),
-              run(model, random_payload(n), Mode::lz));
+  for (const char* kind : {"text", "random"}) {
+    const pc::Bytes payload =
+        kind[0] == 't' ? text_payload(n) : random_payload(n);
+    const double adaptive = run(model, payload, Mode::adaptive);
+    const double stored = run(model, payload, Mode::stored);
+    const double lz = run(model, payload, Mode::lz);
+    std::printf("%-22s %-14s %10.3f %10.3f %10.3f\n", net_name, kind,
+                adaptive, stored, lz);
+    char name[96];
+    std::snprintf(name, sizeof name, "%s.%s.adaptive", key, kind);
+    session.metric(name, "MB/s", adaptive);
+    std::snprintf(name, sizeof name, "%s.%s.stored", key, kind);
+    session.metric(name, "MB/s", stored);
+    std::snprintf(name, sizeof name, "%s.%s.lz", key, kind);
+    session.metric(name, "MB/s", lz);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv, "adoc");
   std::printf("# Ablation: AdOC adaptive online compression (MB/s)\n\n");
   std::printf("%-22s %-14s %10s %10s %10s\n", "network", "payload",
               "adaptive", "stored", "always-lz");
-  sweep("Ethernet-100", sn::profiles::ethernet100());
-  sweep("VTHD-WAN", sn::profiles::vthd_wan());
-  sweep("Internet (lossy)", sn::profiles::transcontinental_internet());
+  sweep(session, "Ethernet-100", "Ethernet", sn::profiles::ethernet100());
+  sweep(session, "VTHD-WAN", "Vthd", sn::profiles::vthd_wan());
+  sweep(session, "Internet (WAN)", "Internet",
+        sn::profiles::transcontinental_internet());
   std::printf("\n# expected shape: on slow nets, compression multiplies "
               "effective bandwidth\n# for compressible data and is harmless "
               "for random data (falls back to\n# stored frames); the "

@@ -1,20 +1,18 @@
 // Real-wall-clock microbenchmarks (google-benchmark) of the CPU-side
 // components: these are the only numbers in the repository measured in
 // real time, and they exist to show the functional substrates (packing,
-// CDR marshalling, compression, crypto) carry realistic constant factors.
+// CDR marshalling, compression) carry realistic constant factors.
 #include <benchmark/benchmark.h>
 
 #include "compress/lz.hpp"
-#include "core/buffer.hpp"
+#include "core/bytes.hpp"
 #include "core/engine.hpp"
 #include "core/rng.hpp"
-#include "crypto/cipher.hpp"
 #include "middleware/corba/cdr.hpp"
 #include "middleware/soap/xml.hpp"
 
 namespace pc = padico::core;
 namespace cz = padico::compress;
-namespace cy = padico::crypto;
 namespace orb = padico::orb;
 
 namespace {
@@ -101,18 +99,16 @@ void BM_CdrMarshalZeroCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_CdrMarshalZeroCopy)->Arg(65536);
 
-void BM_CipherSealOpen(benchmark::State& state) {
-  cy::Key key = cy::derive_key("bench");
+void BM_RleRoundTrip(benchmark::State& state) {
   pc::Bytes data = text_data(static_cast<std::size_t>(state.range(0)));
-  std::uint64_t nonce = 1;
   for (auto _ : state) {
-    pc::Bytes sealed = cy::seal(key, nonce++, pc::view_of(data));
-    benchmark::DoNotOptimize(cy::open(key, pc::view_of(sealed)));
+    pc::Bytes enc = cz::rle_encode(pc::view_of(data));
+    benchmark::DoNotOptimize(cz::rle_decode(pc::view_of(enc)));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_CipherSealOpen)->Arg(16384);
+BENCHMARK(BM_RleRoundTrip)->Arg(65536);
 
 void BM_SoapEnvelope(benchmark::State& state) {
   for (auto _ : state) {

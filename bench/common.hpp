@@ -693,24 +693,47 @@ struct LinkPair {
 /// Wire a node0 -> node1 link pair.  `method` names a driver, or
 /// "auto": the server then listens on every driver and the connect
 /// goes through node 0's chooser (`node.chooser()`), exactly like a
-/// middleware that does not know the topology.
+/// middleware that does not know the topology.  Throws (instead of
+/// dereferencing null / hanging) when the driver is not registered or
+/// the connect reports an error.
 inline LinkPair make_link_pair(gr::Grid& grid, const std::string& method,
                                pc::Port port) {
   LinkPair p;
+  std::string error;
   auto on_accept = [&p](std::unique_ptr<padico::vlink::Link> l) {
     p.b = std::move(l);
   };
-  auto on_connect = [&p](pc::Result<std::unique_ptr<padico::vlink::Link>> r) {
-    if (r.ok()) p.a = std::move(*r);
+  auto on_connect = [&p, &error](
+                        pc::Result<std::unique_ptr<padico::vlink::Link>> r) {
+    if (r.ok()) {
+      p.a = std::move(*r);
+    } else {
+      error = r.error().message;
+      if (error.empty()) error = "connect failed";
+    }
   };
   if (method == "auto") {
     grid.node(1).vlink().listen(port, on_accept);
     grid.node(0).vlink().connect({1, port}, on_connect);
   } else {
+    for (std::size_t n = 0; n < 2; ++n) {
+      if (grid.node(n).vlink().driver(method) != nullptr) continue;
+      std::string have;
+      for (const auto& drv : grid.node(n).vlink().drivers()) {
+        if (!have.empty()) have += ", ";
+        have += drv->name();
+      }
+      throw std::runtime_error("driver not registered: " + method +
+                               " (have: " + have + ")");
+    }
     grid.node(1).vlink().driver(method)->listen(port, on_accept);
     grid.node(0).vlink().connect(method, {1, port}, on_connect);
   }
-  grid.engine().run_while_pending([&] { return p.a && p.b; });
+  grid.engine().run_while_pending(
+      [&] { return (p.a && p.b) || !error.empty(); });
+  if (!error.empty()) {
+    throw std::runtime_error("make_link_pair(" + method + "): " + error);
+  }
   return p;
 }
 

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "adapters/adoc.hpp"
+#include "adapters/vrp.hpp"
 #include "drivers/san_driver.hpp"
 #include "madeleine/circuit.hpp"
 #include "madeleine/madeleine.hpp"
@@ -103,6 +105,13 @@ void Grid::build(const BuildOptions& options) {
         "Grid::build(): pstream_width " +
         std::to_string(options.pstream_width) + " outside [1, 64]");
   }
+  // Negated-range form so NaN fails too; like pstream_width, validated
+  // BEFORE any mutation so a failed build() can be retried corrected.
+  if (!(options.vrp.max_loss >= 0.0 && options.vrp.max_loss < 1.0)) {
+    throw std::invalid_argument("Grid::build(): vrp.max_loss " +
+                                std::to_string(options.vrp.max_loss) +
+                                " outside [0, 1)");
+  }
   // Plan every attachment's method name (and its pstream stack, if
   // any) up front.  The plan is the single source of truth: it
   // validates wan_method BEFORE anything mutates — a failed build()
@@ -111,6 +120,8 @@ void Grid::build(const BuildOptions& options) {
   struct Planned {
     std::string method;
     std::string pstream;  // empty: no parallel-stream stack
+    std::string adoc;     // empty: no compression adapter (SAN)
+    std::string vrp;      // empty: base profile is not lossy
   };
   std::vector<Planned> plan(attachments_.size());
   {
@@ -132,16 +143,22 @@ void Grid::build(const BuildOptions& options) {
       const auto& [net_id, node_id] = attachments_[i];
       const simnet::LinkModel& model = fabric_.network(net_id).model();
       plan[i].method = claim(node_id, model.driver, net_id);
-      if (model.driver != "madio" &&
-          model.net_class == selector::NetClass::wan) {
-        plan[i].pstream = claim(node_id, "pstream", net_id);
+      if (model.driver != "madio") {
+        if (model.net_class == selector::NetClass::wan) {
+          plan[i].pstream = claim(node_id, "pstream", net_id);
+        }
+        plan[i].adoc = claim(node_id, "adoc", net_id);
+        if (model.loss_rate > 0.0) {
+          plan[i].vrp = claim(node_id, "vrp", net_id);
+        }
       }
     }
   }
   if (!options.wan_method.empty()) {
     bool known = false;
     for (const Planned& p : plan) {
-      if (p.method == options.wan_method || p.pstream == options.wan_method) {
+      if (p.method == options.wan_method || p.pstream == options.wan_method ||
+          p.adoc == options.wan_method || p.vrp == options.wan_method) {
         known = true;
         break;
       }
@@ -206,6 +223,25 @@ void Grid::build(const BuildOptions& options) {
         ps->set_net_class(model.net_class);
         ps->set_caps(base_caps | selector::kCapParallel);
         vl.add_driver(std::move(ps));
+      }
+      // Adaptive compression rides every IP attachment, stacked
+      // directly on the base driver (activated by wan_method /
+      // set_wan_method or an explicit method connect).
+      auto ad = std::make_unique<vlink::AdocDriver>(node.host(), *base,
+                                                    plan[i].adoc, &net);
+      ad->set_net_class(model.net_class);
+      ad->set_caps(base_caps);
+      vl.add_driver(std::move(ad));
+      if (!plan[i].vrp.empty()) {
+        // Lossy profile: stack the loss-tolerant VRP adapter too.  The
+        // kCapLossTolerant bit (plus VrpDriver::lossy() == false) is
+        // what lets the chooser steer default WAN traffic off the raw
+        // lossy driver.
+        auto vr = std::make_unique<vlink::VrpDriver>(
+            node.host(), *base, plan[i].vrp, options_.vrp.max_loss);
+        vr->set_net_class(model.net_class);
+        vr->set_caps(base_caps | selector::kCapLossTolerant);
+        vl.add_driver(std::move(vr));
       }
     }
   }

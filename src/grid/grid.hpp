@@ -20,9 +20,14 @@
 // genuinely contend (node.arbitration() tunes the interleave).
 // Wan-class attachments additionally get a "pstream" parallel-stream
 // driver (BuildOptions::pstream_width sub-links) stacked on their IP
-// driver.  The chooser is installed as each VLink's SelectionPolicy,
-// so `node.vlink().connect(remote, fn)` picks madio intra-cluster and
-// the (overridable) wan method across clusters automatically.
+// driver; every IP attachment gets an "adoc" adaptive-compression
+// adapter, and lossy profiles (loss_rate > 0) also get a "vrp"
+// loss-tolerant adapter honouring BuildOptions::vrp.max_loss, stamped
+// kCapLossTolerant so the chooser steers default WAN traffic off the
+// raw lossy driver.  The chooser is installed as each VLink's
+// SelectionPolicy, so `node.vlink().connect(remote, fn)` picks madio
+// intra-cluster and the (overridable) wan method across clusters
+// automatically.
 #pragma once
 
 #include <cstddef>
@@ -75,8 +80,10 @@ class CircuitSet;  // madeleine/circuit.hpp
 /// Build-time knobs.  Fields beyond the base runtime are consumed by
 /// the layers that implement them (selector, MadIO, VRP); the base
 /// build records them so upper layers can query `grid.options()`.
-/// build() validates: `pstream_width` must be in [1, 64], and a
-/// non-empty `wan_method` must name a method some node actually got.
+/// build() validates: `pstream_width` must be in [1, 64],
+/// `vrp.max_loss` must be in [0, 1), and a non-empty `wan_method`
+/// must name a method some node actually got — all before any
+/// mutation, so a failed build() can be retried corrected.
 struct BuildOptions {
   /// Preferred driver method for inter-cluster (WAN) traffic; seeds
   /// every node chooser's `set_wan_method`.  Empty keeps the default
@@ -91,7 +98,9 @@ struct BuildOptions {
   bool header_combining = true;
 
   struct Vrp {
-    /// Tolerated residual loss rate for VRP links.
+    /// Tolerated residual loss rate for VRP links, in [0, 1).  0 makes
+    /// "vrp" a fully reliable ARQ transport (the §5 baseline); the
+    /// paper's media runs use 0.10.
     double max_loss = 0.0;
   } vrp;
 };

@@ -29,15 +29,31 @@ const Chooser::Decision& Chooser::decide(core::NodeId dst) {
       // WAN override first (the paper's "activate parallel streams"
       // switch), then the first registered driver whose affinity
       // matches the destination's class.
+      bool overridden = false;
       if (d.cls == NetClass::wan && !wan_method_.empty()) {
         if (vlink::Driver* o = vlink_->driver(wan_method_);
             o != nullptr && o->reaches(dst)) {
           d.driver = o;
+          overridden = true;
         }
       }
       if (d.driver == nullptr) {
         for (const auto& drv : vlink_->drivers()) {
           if (drv->reaches(dst) && drv->net_class() == d.cls) {
+            d.driver = drv.get();
+            break;
+          }
+        }
+      }
+      // Loss repair beats raw speed: if the pick drops frames, swap in
+      // the first same-class loss-tolerant sibling that reaches the
+      // peer (the grid stacks "vrp" on every lossy profile).  The
+      // explicit wan override above is exempt — pinning a lossy method
+      // is a deliberate ablation choice.
+      if (!overridden && d.driver != nullptr && d.driver->lossy()) {
+        for (const auto& drv : vlink_->drivers()) {
+          if (drv->reaches(dst) && drv->net_class() == d.cls &&
+              drv->has_cap(kCapLossTolerant) && !drv->lossy()) {
             d.driver = drv.get();
             break;
           }

@@ -18,7 +18,13 @@
 //     gr::BuildOptions::wan_method) wins if that driver reaches the
 //     peer.  The default WAN method is therefore plain "sysio" —
 //     parallel streams are *activated*, exactly like the paper's §5
-//     runs, by pinning "pstream".
+//     runs, by pinning "pstream".  One refinement: when the default
+//     pick is a lossy driver (Driver::lossy(), e.g. "sysio" on a
+//     transcontinental profile), the first same-class kCapLossTolerant
+//     non-lossy sibling — the grid's "vrp" adapter — is preferred, so
+//     default traffic over lossy WANs gets loss repair for free.  The
+//     explicit wan override is exempt: pinning a lossy method is a
+//     deliberate ablation choice.
 //   * path_secure(dst) — whether the chosen driver's path stays on
 //     trusted infrastructure (kCapSecure, derived from the link
 //     profile): SAN/LAN yes, WAN no, loopback trivially yes.

@@ -74,7 +74,7 @@ LinkModel ethernet100();
 LinkModel vthd_wan();
 
 /// Lossy trans-continental Internet path used by the VRP experiments.
-LinkModel transcontinental_internet(double loss_rate);
+LinkModel transcontinental_internet(double loss_rate = 0.0);
 
 }  // namespace profiles
 

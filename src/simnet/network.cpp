@@ -65,16 +65,29 @@ core::Result<core::SimTime> Network::send(core::NodeId src, core::NodeId dst,
   engine_->tracer().complete(obs::Cat::simnet, trace_name_, start, tx,
                              static_cast<std::uint32_t>(src), payload.size());
 
-  bool lost = false;
   if (model_.loss_rate > 0.0) {
-    const double frames = static_cast<double>(frames_for(payload.size()));
-    const double p_any = 1.0 - std::pow(1.0 - model_.loss_rate, frames);
-    lost = rng_.uniform() < p_any;
-  }
-  if (lost) {
-    ++messages_dropped_;
-    obs_dropped_->add();
-    return arrival;
+    // Per-frame loss: draw once for EVERY frame, in frame order, so the
+    // RNG consumption depends only on the message-size sequence (not on
+    // which draws happen to lose).  The receiver gets the surviving
+    // prefix — the bytes before the first lost frame — because a NIC
+    // delivers a fragmented message in frame order and a gap truncates
+    // the reassembly.
+    const std::size_t frames = frames_for(payload.size());
+    std::size_t first_lost = frames;
+    for (std::size_t f = 0; f < frames; ++f) {
+      const bool frame_lost = rng_.uniform() < model_.loss_rate;
+      if (frame_lost && first_lost == frames) first_lost = f;
+    }
+    if (first_lost < frames) {
+      frames_dropped_ += frames - first_lost;
+      obs_dropped_->add(frames - first_lost);
+      if (first_lost == 0) {
+        ++messages_dropped_;
+        return arrival;
+      }
+      const std::size_t mtu = std::max<std::size_t>(model_.mtu, 1);
+      payload.resize(std::min(payload.size(), first_lost * mtu));
+    }
   }
 
   engine_->schedule_at(
@@ -88,6 +101,13 @@ core::Result<core::SimTime> Network::send(core::NodeId src, core::NodeId dst,
         }
       });
   return arrival;
+}
+
+core::Duration Network::tx_backlog(core::NodeId node) const {
+  auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return 0;
+  const core::SimTime now = engine_->now();
+  return it->second.tx_busy_until > now ? it->second.tx_busy_until - now : 0;
 }
 
 NetId Fabric::add_network(const LinkModel& model) {

@@ -10,9 +10,14 @@
 //     tx_time(s) = ceil((s + frames * overhead) * 1e9 / bytes_per_sec),
 //   * it is delivered to the destination NIC tx_time + latency after
 //     transmission starts,
-//   * on lossy links the whole message is dropped with the probability
-//     that at least one of its frames is lost, decided by the
-//     network's own seeded RNG (deterministic across runs).
+//   * on lossy links every frame draws its own independent loss with
+//     probability `loss_rate` from the network's seeded RNG; the
+//     surviving *prefix* (the bytes before the first lost frame) is
+//     delivered, so a multi-frame message truncates rather than
+//     vanishing and realized loss converges to loss_rate for large
+//     transfers.  Exactly frames_for(size) draws happen per send, in
+//     frame order, so the draw sequence depends only on the sequence
+//     of message sizes (deterministic across runs).
 //
 // A Fabric owns the set of networks sharing one engine — the piece the
 // benches instantiate directly when they bypass Grid.
@@ -66,9 +71,18 @@ class Network {
   core::Result<core::SimTime> send(core::NodeId src, core::NodeId dst,
                                    core::Bytes payload);
 
+  /// Time until `node`'s NIC FIFO drains (0 when idle) — the transmit
+  /// backlog adaptive layers (AdOC) sense to pick a compression level.
+  core::Duration tx_backlog(core::NodeId node) const;
+
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  /// Messages whose FIRST frame was lost (nothing delivered at all).
   std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  /// Individual wire frames lost to the loss model (a truncated
+  /// delivery counts its lost tail frames here, not in
+  /// messages_dropped()).
+  std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
 
  private:
   struct Endpoint {
@@ -83,6 +97,7 @@ class Network {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
   // obs instrumentation, keyed by the profile name so a multi-network
   // fabric keeps its media apart ("net.SAN.msgs", "net.WAN.bytes"...).
   obs::Counter* obs_msgs_;

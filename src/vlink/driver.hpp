@@ -80,6 +80,11 @@ class Driver {
   /// selection).
   virtual bool reaches(core::NodeId node) const = 0;
 
+  /// True when the transport can silently lose user bytes (a driver on
+  /// a lossy LinkModel without a recovery protocol).  The Chooser
+  /// prefers a kCapLossTolerant sibling over a lossy default.
+  virtual bool lossy() const { return false; }
+
  private:
   std::string name_;
   selector::NetClass net_class_ = selector::NetClass::lan;

@@ -26,8 +26,35 @@ core::Completion<core::Bytes> Link::read_n(std::size_t n) {
 void Link::deliver(core::ByteView data) {
   ++rx_frames_;
   rx_bytes_ += data.size();
+  if (datagram_handler_) {
+    // Framed mode: the adapter stacked on this link consumes whole
+    // transport messages; nothing enters the stream buffer.  Invoke a
+    // local copy: handshake completion swaps the handler from INSIDE
+    // this call (the adapter takes over the link), and replacing a
+    // std::function mid-invocation would destroy its captures under
+    // the running closure.
+    auto handler = datagram_handler_;
+    handler(data);
+    return;
+  }
   rx_buf_.insert(rx_buf_.end(), data.begin(), data.end());
   drain();
+  if (ready_handler_) ready_handler_();
+}
+
+void Link::mark_eof() {
+  if (eof_) return;
+  eof_ = true;
+  if (ready_handler_) ready_handler_();
+}
+
+core::Bytes Link::read_available() {
+  core::Bytes out = take(available());
+  if (rx_head_ == rx_buf_.size()) {
+    rx_buf_.clear();
+    rx_head_ = 0;
+  }
+  return out;
 }
 
 core::Bytes Link::take(std::size_t n) {

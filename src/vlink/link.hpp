@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <utility>
 
 #include "core/bytes.hpp"
 #include "core/task.hpp"
@@ -58,6 +60,35 @@ class Link {
   /// Bytes buffered and not yet claimed by a read.
   std::size_t available() const noexcept { return rx_buf_.size() - rx_head_; }
 
+  /// Synchronously take everything buffered (may be empty).  The
+  /// loss-tolerant consumers use this with a ready handler instead of
+  /// read_n: on a link allowed to *lose* bytes, "exactly n" can never
+  /// complete — "whatever arrived" can.
+  core::Bytes read_available();
+
+  /// `fn` fires after every delivery and on end-of-stream — the
+  /// edge-triggered companion of read_available().
+  void set_ready_handler(std::function<void()> fn) {
+    ready_handler_ = std::move(fn);
+  }
+
+  /// Datagram mode: route each delivered transport message to `fn`
+  /// whole instead of appending it to the stream buffer.  Adapters
+  /// stacked on a base link (VRP, AdOC) use this to get framed-message
+  /// semantics: a lost wire message then drops one *frame* the adapter
+  /// header can account for, where a byte stream could never resync.
+  void set_datagram_handler(std::function<void(core::ByteView)> fn) {
+    datagram_handler_ = std::move(fn);
+  }
+
+  /// True once the peer's end-of-stream marker resolved (only
+  /// transports with a teardown protocol, e.g. VRP, ever set it).
+  bool eof_seen() const noexcept { return eof_; }
+
+  /// Begin an orderly close of the write side.  Default: no-op (the
+  /// baseline transports have no teardown protocol).
+  virtual void post_close() {}
+
   /// Per-link traffic totals (writes posted / deliveries received).
   std::uint64_t tx_frames() const noexcept { return tx_frames_; }
   std::uint64_t tx_bytes() const noexcept { return tx_bytes_; }
@@ -70,6 +101,10 @@ class Link {
 
   /// Called by the transport when stream bytes arrive from the peer.
   void deliver(core::ByteView data);
+
+  /// Transport hook: the peer finished its write side.  Flags
+  /// eof_seen() and fires the ready handler once.
+  void mark_eof();
 
  private:
   core::Bytes take(std::size_t n);
@@ -85,7 +120,10 @@ class Link {
   core::Port remote_port_;
   core::Bytes rx_buf_;
   std::size_t rx_head_ = 0;
+  bool eof_ = false;
   std::deque<PendingRead> pending_;
+  std::function<void()> ready_handler_;
+  std::function<void(core::ByteView)> datagram_handler_;
   std::uint64_t tx_frames_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t rx_frames_ = 0;

@@ -44,6 +44,8 @@ class NetDriver final : public FrameDriver {
 
   bool reaches(core::NodeId node) const override;
 
+  bool lossy() const override { return net_->model().loss_rate > 0.0; }
+
   simnet::Network& network() const noexcept { return *net_; }
 
  protected:

@@ -191,6 +191,9 @@ class PstreamDriver final : public Driver {
     return base_->reaches(node);
   }
 
+  // Striping adds no recovery; a lossy base stays lossy.
+  bool lossy() const override { return base_->lossy(); }
+
   int width() const noexcept { return width_; }
   Driver& base() const noexcept { return *base_; }
 

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "adapters/vrp.hpp"
 #include "core/core.hpp"
 #include "grid/grid.hpp"
 #include "madeleine/circuit.hpp"
@@ -438,6 +439,83 @@ TEST(Determinism, PersonalityTrafficUnchangedByTracing) {
   EXPECT_FALSE(digest_a.empty());
   std::string digest_b;
   personality_run(&digest_b);
+  EXPECT_EQ(digest_a, digest_b);
+}
+
+namespace {
+
+/// A loss-tolerant VRP transfer over the 7 % transcontinental profile
+/// at the paper's 10 % budget: retransmissions, give-ups and ack
+/// clocking all ride the deterministic loss pattern, so every read
+/// timestamp — and with tracing on, the full trace digest — must be
+/// bit-identical across runs.
+std::vector<pc::SimTime> vrp_lossy_run(std::string* trace_digest = nullptr) {
+  std::optional<ScopedTracing> tracing;
+  if (trace_digest != nullptr) tracing.emplace();
+  gr::Grid grid;
+  grid.add_nodes(2);
+  sn::NetId net =
+      grid.add_network(sn::profiles::transcontinental_internet(0.07));
+  grid.attach(net, 0);
+  grid.attach(net, 1);
+  gr::BuildOptions opts;
+  opts.vrp.max_loss = 0.10;
+  grid.build(opts);
+
+  std::unique_ptr<vl::Link> a, b;
+  grid.node(1).vlink().driver("vrp")->listen(
+      7400, [&](std::unique_ptr<vl::Link> l) { b = std::move(l); });
+  grid.node(0).vlink().connect(
+      "vrp", {1, 7400}, [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+        ASSERT_TRUE(r.ok()) << r.error().message;
+        a = std::move(*r);
+      });
+  grid.engine().run_while_pending([&] { return a && b; });
+
+  std::vector<pc::SimTime> stamps;
+  stamps.push_back(grid.engine().now());
+  std::uint64_t received = 0;
+  bool eof = false;
+  b->set_ready_handler([&] {
+    received += b->read_available().size();
+    stamps.push_back(grid.engine().now());
+    if (b->eof_seen()) eof = true;
+  });
+  a->post_write(pc::view_of(pc::Bytes(128 * 1024, 0x5a)));
+  a->post_close();
+  grid.engine().run_while_pending([&] { return eof; });
+  grid.engine().run_until_idle();
+  EXPECT_TRUE(eof);
+
+  // Fold the loss accounting into the digest: identical runs must skip
+  // the exact same bytes, not just finish at the same instant.
+  auto* vrp = dynamic_cast<vl::VrpLink*>(b.get());
+  EXPECT_NE(vrp, nullptr);
+  if (vrp != nullptr) {
+    stamps.push_back(received);
+    stamps.push_back(vrp->skipped_bytes());
+    stamps.push_back(vrp->give_ups());
+  }
+  stamps.push_back(grid.engine().now());
+  stamps.push_back(grid.engine().processed());
+  if (trace_digest != nullptr) *trace_digest = grid.engine().tracer().digest();
+  return stamps;
+}
+
+}  // namespace
+
+TEST(Determinism, VrpLossyTransferDigestBitIdenticalAcrossRuns) {
+  EXPECT_EQ(vrp_lossy_run(), vrp_lossy_run());
+}
+
+TEST(Determinism, VrpLossyTransferUnchangedByTracing) {
+  const std::vector<pc::SimTime> untraced = vrp_lossy_run();
+  std::string digest_a;
+  const std::vector<pc::SimTime> traced = vrp_lossy_run(&digest_a);
+  EXPECT_EQ(untraced, traced);
+  EXPECT_FALSE(digest_a.empty());
+  std::string digest_b;
+  vrp_lossy_run(&digest_b);
   EXPECT_EQ(digest_a, digest_b);
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -43,11 +44,13 @@ TEST(Grid, BuildCreatesNodesAndDrivers) {
     EXPECT_EQ(n.id(), i);
     EXPECT_EQ(n.host().id(), i);
     EXPECT_EQ(&n.host().engine(), &grid.engine());
-    // One driver per attachment, named from the profiles.
+    // One driver per attachment, named from the profiles, plus the
+    // adoc compression adapter every IP attachment gets.
     EXPECT_NE(n.vlink().driver("madio"), nullptr);
     EXPECT_NE(n.vlink().driver("sysio"), nullptr);
+    EXPECT_NE(n.vlink().driver("adoc"), nullptr);
     EXPECT_EQ(n.vlink().driver("bogus"), nullptr);
-    EXPECT_EQ(n.vlink().drivers().size(), 2u);
+    EXPECT_EQ(n.vlink().drivers().size(), 3u);
   }
 }
 
@@ -95,6 +98,49 @@ TEST(Grid, BuildValidatesPstreamWidth) {
     opts.pstream_width = bad;
     EXPECT_THROW(grid.build(opts), std::invalid_argument) << bad;
   }
+}
+
+TEST(Grid, BuildValidatesVrpMaxLoss) {
+  for (double bad : {-0.1, 1.0, 1.5,
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    gr::Grid grid;
+    grid.add_nodes(1);
+    gr::BuildOptions opts;
+    opts.vrp.max_loss = bad;
+    EXPECT_THROW(grid.build(opts), std::invalid_argument) << bad;
+    // Like the other validations: before any mutation, retry works.
+    EXPECT_FALSE(grid.built());
+    opts.vrp.max_loss = 0.1;
+    grid.build(opts);
+    EXPECT_TRUE(grid.built());
+  }
+}
+
+TEST(Grid, LossyAttachmentsGetAVrpDriver) {
+  gr::Grid grid;
+  grid.add_nodes(2);
+  sn::NetId wan =
+      grid.add_network(sn::profiles::transcontinental_internet(0.07));
+  grid.attach(wan, 0);
+  grid.attach(wan, 1);
+  gr::BuildOptions opts;
+  opts.vrp.max_loss = 0.1;
+  grid.build(opts);
+  vl::Driver* sysio = grid.node(0).vlink().driver("sysio");
+  vl::Driver* vrp = grid.node(0).vlink().driver("vrp");
+  ASSERT_NE(sysio, nullptr);
+  ASSERT_NE(vrp, nullptr);
+  // The raw driver admits it drops frames; the adapter repairs them.
+  EXPECT_TRUE(sysio->lossy());
+  EXPECT_FALSE(vrp->lossy());
+  EXPECT_TRUE(vrp->has_cap(padico::selector::kCapLossTolerant));
+  EXPECT_EQ(vrp->net_class(), padico::selector::NetClass::wan);
+  // Loss-free profiles get no vrp stack (adoc rides regardless).
+  gr::Grid clean;
+  attach_testbed(clean);
+  clean.build();
+  EXPECT_EQ(clean.node(0).vlink().driver("vrp"), nullptr);
+  EXPECT_NE(clean.node(0).vlink().driver("adoc"), nullptr);
 }
 
 TEST(Grid, BuildValidatesWanMethod) {
@@ -172,12 +218,13 @@ TEST(Grid, TwoClusterTopologyRoutesAcrossWan) {
   for (pc::NodeId i = 0; i < 4; ++i) grid.attach(wan, i);
   grid.build();
 
-  // Node 0 sees its SAN and the WAN (plus the WAN's pstream stack),
-  // not cluster B's SAN.
+  // Node 0 sees its SAN and the WAN (plus the WAN's pstream and adoc
+  // stacks), not cluster B's SAN.
   EXPECT_NE(grid.node(0).vlink().driver("madio"), nullptr);
   EXPECT_NE(grid.node(0).vlink().driver("sysio"), nullptr);
   EXPECT_NE(grid.node(0).vlink().driver("pstream"), nullptr);
-  EXPECT_EQ(grid.node(0).vlink().drivers().size(), 3u);
+  EXPECT_NE(grid.node(0).vlink().driver("adoc"), nullptr);
+  EXPECT_EQ(grid.node(0).vlink().drivers().size(), 4u);
 
   // Cross-cluster: only the WAN reaches node 2 from node 0.
   std::unique_ptr<vl::Link> a, b;

@@ -107,6 +107,39 @@ TEST(Selector, WanMethodOverride) {
   EXPECT_EQ(ch.choose(2), "sysio");
 }
 
+TEST(Selector, LossyWanPrefersTheVrpAdapter) {
+  // Two SAN clusters joined by a LOSSY transcontinental link: the
+  // default WAN pick would be the raw (frame-dropping) "sysio", so the
+  // chooser swaps in the loss-tolerant "vrp" sibling the grid stacked
+  // on it.
+  gr::Grid grid;
+  grid.add_nodes(4);
+  sn::NetId sanA = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId sanB = grid.add_network(sn::profiles::myrinet2000());
+  sn::NetId wan =
+      grid.add_network(sn::profiles::transcontinental_internet(0.07));
+  grid.attach(sanA, 0);
+  grid.attach(sanA, 1);
+  grid.attach(sanB, 2);
+  grid.attach(sanB, 3);
+  for (pc::NodeId i = 0; i < 4; ++i) grid.attach(wan, i);
+  gr::BuildOptions opts;
+  opts.vrp.max_loss = 0.1;
+  grid.build(opts);
+
+  sel::Chooser& ch = grid.node(0).chooser();
+  EXPECT_EQ(ch.classify(2), sel::NetClass::wan);
+  EXPECT_EQ(ch.choose(2), "vrp");
+  // Intra-cluster traffic is untouched by the refinement.
+  EXPECT_EQ(ch.choose(1), "madio");
+  // Pinning the raw lossy method is a deliberate ablation choice the
+  // chooser honours (the override is exempt from the swap).
+  ch.set_wan_method("sysio");
+  EXPECT_EQ(ch.choose(2), "sysio");
+  ch.set_wan_method("");
+  EXPECT_EQ(ch.choose(2), "vrp");
+}
+
 TEST(Selector, PathSecurityFollowsTheProfiles) {
   gr::Grid grid;
   two_clusters(grid, "pstream");

@@ -127,6 +127,60 @@ TEST(Simnet, LossyLinkDropsDeterministically) {
   EXPECT_EQ(dropped1, dropped2);
 }
 
+TEST(Simnet, LossTruncatesToSurvivingPrefix) {
+  sn::LinkModel m = sn::profiles::transcontinental_internet(0.3);
+  TwoNodeNet t(m);
+  std::vector<std::size_t> sizes;
+  t.net().set_receiver(1, [&](pc::NodeId, pc::Bytes payload) {
+    sizes.push_back(payload.size());
+  });
+  const std::size_t total = 20 * m.mtu;  // 20 frames per message
+  const int count = 32;
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(t.net().send(0, 1, pc::Bytes(total, 0x5a)).ok());
+  }
+  t.engine.run_until_idle();
+  EXPECT_GT(t.net().frames_dropped(), 0u);
+  // Loss is per FRAME: a hit mid-message truncates to the surviving
+  // whole-frame prefix instead of vaporising the whole message.  At
+  // 30 % per-frame loss an intact 20-frame message (0.7^20) is rare.
+  bool truncated = false;
+  for (std::size_t s : sizes) {
+    ASSERT_GT(s, 0u);
+    ASSERT_LE(s, total);
+    if (s < total) {
+      truncated = true;
+      EXPECT_EQ(s % m.mtu, 0u);
+    }
+  }
+  EXPECT_TRUE(truncated);
+  // messages_dropped counts only messages whose FIRST frame was lost
+  // (nothing delivered at all); everything else arrives, maybe short.
+  EXPECT_EQ(sizes.size() + t.net().messages_dropped(),
+            static_cast<std::size_t>(count));
+}
+
+TEST(Simnet, PerFrameLossPatternIsDeterministic) {
+  auto run = [] {
+    sn::LinkModel m = sn::profiles::transcontinental_internet(0.2);
+    TwoNodeNet t(m);
+    std::vector<std::size_t> sizes;
+    t.net().set_receiver(1, [&](pc::NodeId, pc::Bytes payload) {
+      sizes.push_back(payload.size());
+    });
+    for (int i = 0; i < 24; ++i) {
+      EXPECT_TRUE(t.net().send(0, 1, pc::Bytes(8 * m.mtu, 1)).ok());
+    }
+    t.engine.run_until_idle();
+    return std::make_pair(sizes, t.net().frames_dropped());
+  };
+  auto [sizes1, dropped1] = run();
+  auto [sizes2, dropped2] = run();
+  EXPECT_GT(dropped1, 0u);
+  EXPECT_EQ(sizes1, sizes2);  // bit-identical truncation pattern
+  EXPECT_EQ(dropped1, dropped2);
+}
+
 TEST(Simnet, StatsCountMessagesAndBytes) {
   TwoNodeNet t(sn::profiles::myrinet2000());
   t.net().send(0, 1, pc::Bytes(100, 0));

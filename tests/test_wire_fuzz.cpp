@@ -1,8 +1,9 @@
 // Property / fuzz tests for the framed codecs of the stack: the
-// 24-byte vlink wire header (ROADMAP item 6, pulled forward) and the
-// pstream sub-frame header.  Round-trips for Rng-generated headers,
-// and truncated / garbage frames must fail cleanly — a nullopt, never
-// a crash or an out-of-bounds read.
+// 24-byte vlink wire header (ROADMAP item 6, pulled forward), the
+// pstream sub-frame header, and the VRP / AdOC adapter headers.
+// Round-trips for Rng-generated headers, and truncated / garbage
+// frames must fail cleanly — a nullopt, never a crash or an
+// out-of-bounds read.
 #include "vlink/wire.hpp"
 
 #include <gtest/gtest.h>
@@ -10,6 +11,8 @@
 #include <memory>
 #include <optional>
 
+#include "adapters/adoc.hpp"
+#include "adapters/vrp.hpp"
 #include "core/core.hpp"
 #include "simnet/simnet.hpp"
 #include "vlink/net_driver.hpp"
@@ -184,6 +187,161 @@ TEST(WireFuzz, PstreamGarbageSubFramesDecodeCleanlyOrNotAtAll) {
     EXPECT_EQ(re[16], junk[16]);  // id low byte
   }
   EXPECT_GT(decoded, 0) << "fuzz corpus never hit a valid sub-frame";
+}
+
+namespace vrp = padico::vlink::vrp;
+namespace adoc = padico::vlink::adoc;
+namespace cz = padico::compress;
+
+namespace {
+
+vrp::Header random_vrp_header(pc::Rng& rng) {
+  vrp::Header h;
+  h.kind = static_cast<vrp::Kind>(rng.uniform_int(1, 6));
+  h.flags = h.kind == vrp::Kind::ack && rng.uniform_int(0, 1) == 1
+                ? vrp::kFlagFinSeen
+                : 0;
+  // Data lengths of 0 or beyond kChunkSize never round-trip (rejected
+  // as corruption); hello budgets must stay under 100 % (1e6 ppm).
+  switch (h.kind) {
+    case vrp::Kind::data:
+      h.len = static_cast<std::uint32_t>(rng.uniform_int(1, vrp::kChunkSize));
+      break;
+    case vrp::Kind::hello:
+      h.len = static_cast<std::uint32_t>(rng.uniform_int(0, 999999));
+      break;
+    default:
+      h.len = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFF));
+  }
+  h.aux = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFF));
+  h.seq = rng.next_u64();
+  return h;
+}
+
+}  // namespace
+
+TEST(WireFuzz, VrpHeaderRoundTrips) {
+  pc::Rng rng(0x5eed0020);
+  for (int i = 0; i < 1000; ++i) {
+    const vrp::Header h = random_vrp_header(rng);
+    const pc::Bytes frame = vrp::encode_header(h);
+    ASSERT_EQ(frame.size(), vrp::kHeaderSize);
+    const std::optional<vrp::Header> back =
+        vrp::decode_header(pc::view_of(frame));
+    ASSERT_TRUE(back.has_value()) << "iteration " << i;
+    EXPECT_EQ(*back, h) << "iteration " << i;
+  }
+}
+
+TEST(WireFuzz, VrpTruncatedFramesAreRejected) {
+  pc::Rng rng(0x5eed0021);
+  const pc::Bytes frame = vrp::encode_header(random_vrp_header(rng));
+  for (std::size_t n = 0; n < vrp::kHeaderSize; ++n) {
+    EXPECT_FALSE(
+        vrp::decode_header(pc::ByteView(frame.data(), n)).has_value())
+        << "length " << n;
+  }
+  EXPECT_FALSE(vrp::decode_header({}).has_value());
+}
+
+TEST(WireFuzz, VrpGarbageFramesDecodeCleanlyOrNotAtAll) {
+  pc::Rng rng(0x5eed0022);
+  int decoded = 0;
+  for (int i = 0; i < 4000; ++i) {
+    pc::Bytes junk(rng.uniform_int(0, 64), 0);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    if (rng.uniform_int(0, 3) == 0 && junk.size() >= vrp::kHeaderSize) {
+      // Sometimes force a plausible prefix so the accept path gets
+      // exercised; everything else stays fuzzed.
+      std::memcpy(junk.data(), &vrp::kMagic, sizeof(vrp::kMagic));
+      junk[4] = static_cast<std::uint8_t>(rng.uniform_int(1, 6));
+      junk[9] = 0;
+      junk[10] = 0;
+      junk[11] = 0;  // len < 256 <= kChunkSize, and a valid hello ppm
+    }
+    const std::optional<vrp::Header> h =
+        vrp::decode_header(pc::view_of(junk));
+    if (!h.has_value()) continue;
+    ++decoded;
+    ASSERT_GE(junk.size(), vrp::kHeaderSize);
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, junk.data(), sizeof(magic));
+    EXPECT_EQ(magic, vrp::kMagic);
+    EXPECT_GE(static_cast<std::uint8_t>(h->kind), 1);
+    EXPECT_LE(static_cast<std::uint8_t>(h->kind), 6);
+    if (h->kind == vrp::Kind::data) {
+      EXPECT_GE(h->len, 1u);
+      EXPECT_LE(h->len, vrp::kChunkSize);
+    }
+    if (h->kind == vrp::Kind::hello) {
+      EXPECT_LT(h->len, 1000000u);
+    }
+    const pc::Bytes re = vrp::encode_header(*h);
+    EXPECT_EQ(re[4], junk[4]);    // kind
+    EXPECT_EQ(re[16], junk[16]);  // seq low byte
+  }
+  EXPECT_GT(decoded, 0) << "fuzz corpus never hit a valid vrp frame";
+}
+
+namespace {
+
+adoc::Header random_adoc_header(pc::Rng& rng) {
+  adoc::Header h;
+  h.kind = static_cast<adoc::Kind>(rng.uniform_int(1, 2));
+  h.level = static_cast<cz::Level>(rng.uniform_int(0, cz::kLevelCount - 1));
+  h.raw_len = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFF));
+  h.enc_len = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFF));
+  return h;
+}
+
+}  // namespace
+
+TEST(WireFuzz, AdocHeaderRoundTrips) {
+  pc::Rng rng(0x5eed0030);
+  for (int i = 0; i < 1000; ++i) {
+    const adoc::Header h = random_adoc_header(rng);
+    const pc::Bytes frame = adoc::encode_header(h);
+    ASSERT_EQ(frame.size(), adoc::kHeaderSize);
+    const std::optional<adoc::Header> back =
+        adoc::decode_header(pc::view_of(frame));
+    ASSERT_TRUE(back.has_value()) << "iteration " << i;
+    EXPECT_EQ(*back, h) << "iteration " << i;
+  }
+}
+
+TEST(WireFuzz, AdocTruncatedAndGarbageFramesAreRejectedCleanly) {
+  pc::Rng rng(0x5eed0031);
+  const pc::Bytes frame = adoc::encode_header(random_adoc_header(rng));
+  for (std::size_t n = 0; n < adoc::kHeaderSize; ++n) {
+    EXPECT_FALSE(
+        adoc::decode_header(pc::ByteView(frame.data(), n)).has_value())
+        << "length " << n;
+  }
+  EXPECT_FALSE(adoc::decode_header({}).has_value());
+  int decoded = 0;
+  for (int i = 0; i < 4000; ++i) {
+    pc::Bytes junk(rng.uniform_int(0, 48), 0);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    if (rng.uniform_int(0, 3) == 0 && junk.size() >= adoc::kHeaderSize) {
+      std::memcpy(junk.data(), &adoc::kMagic, sizeof(adoc::kMagic));
+      junk[4] = static_cast<std::uint8_t>(rng.uniform_int(1, 2));
+      junk[5] =
+          static_cast<std::uint8_t>(rng.uniform_int(0, cz::kLevelCount - 1));
+    }
+    const std::optional<adoc::Header> h =
+        adoc::decode_header(pc::view_of(junk));
+    if (!h.has_value()) continue;
+    ++decoded;
+    ASSERT_GE(junk.size(), adoc::kHeaderSize);
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, junk.data(), sizeof(magic));
+    EXPECT_EQ(magic, adoc::kMagic);
+    EXPECT_LT(static_cast<std::uint8_t>(h->level), cz::kLevelCount);
+    const pc::Bytes re = adoc::encode_header(*h);
+    EXPECT_EQ(re[4], junk[4]);  // kind
+    EXPECT_EQ(re[8], junk[8]);  // raw_len low byte
+  }
+  EXPECT_GT(decoded, 0) << "fuzz corpus never hit a valid adoc frame";
 }
 
 TEST(WireFuzz, NetDriverSurvivesGarbageFrames) {
