@@ -80,7 +80,10 @@ int main(int argc, char** argv) {
     std::printf("%10zu %12.1f %12.1f %10.1f %10.1f %10.1f %12.1f %14.2f\n", s,
                 o3.value, o4.value, mico.value, orbacus.value, mpich.value,
                 java.value, tcp.value);
-    const std::string suffix = "." + std::to_string(s);
+    // (Two-step append rather than operator+ to dodge GCC 12's
+    // -Wrestrict false positive at -O2.)
+    std::string suffix = ".";
+    suffix += std::to_string(s);
     session.metric("omniORB-3" + suffix, "MB/s", o3);
     session.metric("omniORB-4" + suffix, "MB/s", o4);
     session.metric("Mico" + suffix, "MB/s", mico);

@@ -1,0 +1,82 @@
+// Scenario engine throughput: how many generated client sessions the
+// virtual grid sustains, at two scales.
+//
+//   small — 256 nodes (8 clusters x 32), 20k bursty sessions;
+//   large — 10,000 nodes (100 clusters x 100), 1M Poisson sessions.
+//
+// The large scale runs TWICE and the bench fails (exit 1) if the two
+// digests differ: the CI bench job doubles as the large-topology
+// replay gate.  Only virtual-time rates (events/s, bytes/s,
+// sessions/s of SIMULATED time) land in BENCH_scenario.json — they are
+// deterministic, so the baseline check can be tight.  Wall-clock cost
+// goes to stdout for humans.
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+namespace sc = padico::scenario;
+
+sc::ScenarioSpec small_scale() {
+  sc::ScenarioSpec spec =
+      sc::small_world(8, 32, 20'000, 2'000'000.0, 2026);
+  spec.workload.burst_depth = 0.5;
+  spec.workload.burst_period = padico::core::milliseconds(1);
+  return spec;
+}
+
+sc::ScenarioSpec large_scale() {
+  return sc::small_world(100, 100, 1'000'000, 5'000'000.0, 2026);
+}
+
+sc::Report timed_run(const char* label, const sc::ScenarioSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sc::Scenario s(spec);
+  const sc::Report r = s.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf(
+      "%-8s %5zu nodes %9llu sessions  closed %llu  failed %llu  "
+      "%10.3g ev/vs  %10.3g B/vs  %10.3g sess/vs  digest %s  "
+      "[wall %.1f s]\n",
+      label, s.grid().size(),
+      static_cast<unsigned long long>(r.opened),
+      static_cast<unsigned long long>(r.closed),
+      static_cast<unsigned long long>(r.failed), r.events_per_vsec,
+      r.bytes_per_vsec, r.sessions_per_vsec, r.digest.c_str(), wall);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv, "scenario");
+  std::printf("# Scenario engine: generated sessions over the virtual "
+              "grid (rates are per second of VIRTUAL time)\n");
+
+  const sc::Report small = timed_run("small", small_scale());
+  session.metric("small.events_per_vsec", "ev/s", small.events_per_vsec);
+  session.metric("small.bytes_per_vsec", "B/s", small.bytes_per_vsec);
+  session.metric("small.sessions_per_vsec", "1/s", small.sessions_per_vsec);
+
+  const sc::Report large = timed_run("large", large_scale());
+  session.metric("large.events_per_vsec", "ev/s", large.events_per_vsec);
+  session.metric("large.bytes_per_vsec", "B/s", large.bytes_per_vsec);
+  session.metric("large.sessions_per_vsec", "1/s", large.sessions_per_vsec);
+
+  const sc::Report replay = timed_run("replay", large_scale());
+  if (replay.digest != large.digest) {
+    std::fprintf(stderr,
+                 "FAIL: large-scale digest not replayable (%s vs %s)\n",
+                 large.digest.c_str(), replay.digest.c_str());
+    return 1;
+  }
+  std::printf("# large-scale digest replayed bit-identically (%s)\n",
+              large.digest.c_str());
+  return 0;
+}

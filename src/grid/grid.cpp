@@ -77,9 +77,9 @@ void Node::remove_personality(middleware::Personality& p) noexcept {
 Grid::Grid() = default;
 Grid::~Grid() = default;
 
-void Grid::add_nodes(int n) {
+void Grid::add_nodes(std::size_t n) {
   assert(!built_ && "topology frozen by build()");
-  node_count_ += static_cast<std::size_t>(n);
+  node_count_ += n;
 }
 
 simnet::NetId Grid::add_network(const simnet::LinkModel& model) {
@@ -117,42 +117,11 @@ void Grid::build(const BuildOptions& options) {
   // validates wan_method BEFORE anything mutates — a failed build()
   // leaves the grid un-built for a corrected retry — and the wiring
   // below consumes the same names, so the two can never drift.
-  struct Planned {
-    std::string method;
-    std::string pstream;  // empty: no parallel-stream stack
-    std::string adoc;     // empty: no compression adapter (SAN)
-    std::string vrp;      // empty: base profile is not lossy
-  };
+  // (plan_attachment/wire_attachment are shared with attach_live, so
+  // runtime attachments get identical stacks.)
   std::vector<Planned> plan(attachments_.size());
-  {
-    std::map<core::NodeId, std::set<std::string>> used;
-    auto claim = [&](core::NodeId node, const std::string& base,
-                     simnet::NetId net_id) {
-      std::string m = base;
-      if (used[node].count(m) != 0) {
-        // Two same-profile networks on one node (e.g. twin SANs): keep
-        // method names unique and deterministic.  (Two appends rather
-        // than operator+ to dodge GCC 12's -Wrestrict false positive.)
-        m += "@";
-        m += std::to_string(net_id);
-      }
-      used[node].insert(m);
-      return m;
-    };
-    for (std::size_t i = 0; i < attachments_.size(); ++i) {
-      const auto& [net_id, node_id] = attachments_[i];
-      const simnet::LinkModel& model = fabric_.network(net_id).model();
-      plan[i].method = claim(node_id, model.driver, net_id);
-      if (model.driver != "madio") {
-        if (model.net_class == selector::NetClass::wan) {
-          plan[i].pstream = claim(node_id, "pstream", net_id);
-        }
-        plan[i].adoc = claim(node_id, "adoc", net_id);
-        if (model.loss_rate > 0.0) {
-          plan[i].vrp = claim(node_id, "vrp", net_id);
-        }
-      }
-    }
+  for (std::size_t i = 0; i < attachments_.size(); ++i) {
+    plan[i] = plan_attachment(attachments_[i].first, attachments_[i].second);
   }
   if (!options.wan_method.empty()) {
     bool known = false;
@@ -164,6 +133,7 @@ void Grid::build(const BuildOptions& options) {
       }
     }
     if (!known) {
+      used_methods_.clear();  // undo the plan's claims; nothing wired yet
       throw std::invalid_argument("Grid::build(): wan_method '" +
                                   options.wan_method +
                                   "' matches no driver this topology wires");
@@ -171,6 +141,7 @@ void Grid::build(const BuildOptions& options) {
   }
   options_ = options;
   built_ = true;
+  alive_count_ = node_count_;
 
   nodes_.reserve(node_count_);
   for (std::size_t i = 0; i < node_count_; ++i) {
@@ -181,74 +152,153 @@ void Grid::build(const BuildOptions& options) {
   // Attachment declaration order fixes driver preference order, so the
   // typical "SAN first, LAN second" testbed auto-selects the SAN.
   for (std::size_t i = 0; i < attachments_.size(); ++i) {
-    const auto& [net_id, node_id] = attachments_[i];
-    simnet::Network& net = fabric_.network(net_id);
-    Node& node = *nodes_[node_id];
-    vlink::VLink& vl = node.vlink();
-    const simnet::LinkModel& model = net.model();
-    // Drivers inherit the profile's distance class and trust bit, so
-    // the chooser classifies from profiles, never from method names.
-    const selector::Caps base_caps = model.secure ? selector::kCapSecure : 0;
-    const std::string& method = plan[i].method;
-    if (model.driver == "madio") {
-      // SAN: the full arbitration stack under the vlink method.
-      auto stack = std::make_unique<SanStack>(node.host(), fabric_, net_id,
-                                              node.access(),
-                                              options_.header_combining);
-      node.madios_.push_back(&stack->io);
-      auto driver = std::make_unique<net::MadIODriver>(stack->io, method);
-      driver->set_net_class(model.net_class);
-      driver->set_caps(base_caps);
-      vl.add_driver(std::move(driver));
-      san_stacks_.push_back(std::move(stack));
-    } else {
-      // IP network: baseline NetDriver, arbitrated on the SysIO side.
-      auto driver =
-          std::make_unique<vlink::NetDriver>(node.host(), net, method);
-      driver->set_net_class(model.net_class);
-      driver->set_caps(base_caps);
-      driver->set_dispatch(
-          [access = &node.access()](std::function<void()> fn) {
-            access->post_sys(std::move(fn));
-          });
-      vlink::NetDriver* base = driver.get();
-      vl.add_driver(std::move(driver));
-      if (!plan[i].pstream.empty()) {
-        // Long fat pipe: stack the parallel-stream adapter on the IP
-        // driver.  Registered after its base, so the chooser's default
-        // wan ranking still lands on plain "sysio" — pstream is
-        // activated via BuildOptions::wan_method / set_wan_method.
-        auto ps = std::make_unique<vlink::PstreamDriver>(
-            node.host(), *base, plan[i].pstream, options_.pstream_width);
-        ps->set_net_class(model.net_class);
-        ps->set_caps(base_caps | selector::kCapParallel);
-        vl.add_driver(std::move(ps));
-      }
-      // Adaptive compression rides every IP attachment, stacked
-      // directly on the base driver (activated by wan_method /
-      // set_wan_method or an explicit method connect).
-      auto ad = std::make_unique<vlink::AdocDriver>(node.host(), *base,
-                                                    plan[i].adoc, &net);
-      ad->set_net_class(model.net_class);
-      ad->set_caps(base_caps);
-      vl.add_driver(std::move(ad));
-      if (!plan[i].vrp.empty()) {
-        // Lossy profile: stack the loss-tolerant VRP adapter too.  The
-        // kCapLossTolerant bit (plus VrpDriver::lossy() == false) is
-        // what lets the chooser steer default WAN traffic off the raw
-        // lossy driver.
-        auto vr = std::make_unique<vlink::VrpDriver>(
-            node.host(), *base, plan[i].vrp, options_.vrp.max_loss);
-        vr->set_net_class(model.net_class);
-        vr->set_caps(base_caps | selector::kCapLossTolerant);
-        vl.add_driver(std::move(vr));
-      }
-    }
+    wire_attachment(attachments_[i].first, attachments_[i].second, plan[i]);
   }
 
   for (const auto& node : nodes_) {
     node->chooser().set_wan_method(options_.wan_method);
   }
+}
+
+Grid::Planned Grid::plan_attachment(simnet::NetId net, core::NodeId node) {
+  auto claim = [&](const std::string& base) {
+    std::string m = base;
+    if (used_methods_[node].count(m) != 0) {
+      // Two same-profile networks on one node (e.g. twin SANs): keep
+      // method names unique and deterministic.  (Two appends rather
+      // than operator+ to dodge GCC 12's -Wrestrict false positive.)
+      m += "@";
+      m += std::to_string(net);
+    }
+    used_methods_[node].insert(m);
+    return m;
+  };
+  const simnet::LinkModel& model = fabric_.network(net).model();
+  Planned plan;
+  plan.method = claim(model.driver);
+  if (model.driver != "madio") {
+    if (model.net_class == selector::NetClass::wan) {
+      plan.pstream = claim("pstream");
+    }
+    plan.adoc = claim("adoc");
+    if (model.loss_rate > 0.0) {
+      plan.vrp = claim("vrp");
+    }
+  }
+  return plan;
+}
+
+void Grid::wire_attachment(simnet::NetId net_id, core::NodeId node_id,
+                           const Planned& plan) {
+  simnet::Network& net = fabric_.network(net_id);
+  Node& node = *nodes_[node_id];
+  vlink::VLink& vl = node.vlink();
+  const simnet::LinkModel& model = net.model();
+  // Drivers inherit the profile's distance class and trust bit, so
+  // the chooser classifies from profiles, never from method names.
+  const selector::Caps base_caps = model.secure ? selector::kCapSecure : 0;
+  const std::string& method = plan.method;
+  if (model.driver == "madio") {
+    // SAN: the full arbitration stack under the vlink method.
+    auto stack = std::make_unique<SanStack>(node.host(), fabric_, net_id,
+                                            node.access(),
+                                            options_.header_combining);
+    node.madios_.push_back(&stack->io);
+    auto driver = std::make_unique<net::MadIODriver>(stack->io, method);
+    driver->set_net_class(model.net_class);
+    driver->set_caps(base_caps);
+    vl.add_driver(std::move(driver));
+    san_stacks_.push_back(std::move(stack));
+  } else {
+    // IP network: baseline NetDriver, arbitrated on the SysIO side.
+    auto driver = std::make_unique<vlink::NetDriver>(node.host(), net, method);
+    driver->set_net_class(model.net_class);
+    driver->set_caps(base_caps);
+    driver->set_dispatch([access = &node.access()](std::function<void()> fn) {
+      access->post_sys(std::move(fn));
+    });
+    vlink::NetDriver* base = driver.get();
+    vl.add_driver(std::move(driver));
+    if (!plan.pstream.empty()) {
+      // Long fat pipe: stack the parallel-stream adapter on the IP
+      // driver.  Registered after its base, so the chooser's default
+      // wan ranking still lands on plain "sysio" — pstream is
+      // activated via BuildOptions::wan_method / set_wan_method.
+      auto ps = std::make_unique<vlink::PstreamDriver>(
+          node.host(), *base, plan.pstream, options_.pstream_width);
+      ps->set_net_class(model.net_class);
+      ps->set_caps(base_caps | selector::kCapParallel);
+      vl.add_driver(std::move(ps));
+    }
+    // Adaptive compression rides every IP attachment, stacked
+    // directly on the base driver (activated by wan_method /
+    // set_wan_method or an explicit method connect).
+    auto ad = std::make_unique<vlink::AdocDriver>(node.host(), *base,
+                                                  plan.adoc, &net);
+    ad->set_net_class(model.net_class);
+    ad->set_caps(base_caps);
+    vl.add_driver(std::move(ad));
+    if (!plan.vrp.empty()) {
+      // Lossy profile: stack the loss-tolerant VRP adapter too.  The
+      // kCapLossTolerant bit (plus VrpDriver::lossy() == false) is
+      // what lets the chooser steer default WAN traffic off the raw
+      // lossy driver.
+      auto vr = std::make_unique<vlink::VrpDriver>(
+          node.host(), *base, plan.vrp, options_.vrp.max_loss);
+      vr->set_net_class(model.net_class);
+      vr->set_caps(base_caps | selector::kCapLossTolerant);
+      vl.add_driver(std::move(vr));
+    }
+  }
+}
+
+void Grid::invalidate_choosers() {
+  for (const auto& node : nodes_) node->chooser().invalidate();
+}
+
+bool Grid::alive(core::NodeId i) const noexcept {
+  return built_ && i < nodes_.size() && nodes_[i]->alive();
+}
+
+core::NodeId Grid::add_node_live() {
+  if (!built_) throw std::logic_error("Grid::add_node_live() before build()");
+  const auto id = static_cast<core::NodeId>(node_count_);
+  nodes_.push_back(std::make_unique<Node>(engine_, id));
+  nodes_.back()->chooser().set_wan_method(options_.wan_method);
+  ++node_count_;
+  ++alive_count_;
+  return id;
+}
+
+void Grid::attach_live(simnet::NetId net, core::NodeId node) {
+  if (!built_) throw std::logic_error("Grid::attach_live() before build()");
+  if (node >= node_count_ || !nodes_[node]->alive()) {
+    throw std::out_of_range("Grid::attach_live(): node " +
+                            std::to_string(node) + " not alive");
+  }
+  fabric_.attach(net, node);
+  attachments_.emplace_back(net, node);
+  const Planned plan = plan_attachment(net, node);
+  wire_attachment(net, node, plan);
+  // Peers may hold "unreachable" (or differently-routed) decisions for
+  // this node; reachability just changed for everyone.
+  invalidate_choosers();
+}
+
+void Grid::remove_node_live(core::NodeId node) {
+  if (!built_) {
+    throw std::logic_error("Grid::remove_node_live() before build()");
+  }
+  if (node >= node_count_ || !nodes_[node]->alive()) {
+    throw std::out_of_range("Grid::remove_node_live(): node " +
+                            std::to_string(node) + " not alive");
+  }
+  for (const auto& [net_id, node_id] : attachments_) {
+    if (node_id == node) fabric_.network(net_id).detach(node);
+  }
+  nodes_[node]->alive_ = false;
+  --alive_count_;
+  invalidate_choosers();
 }
 
 Node& Grid::node(std::size_t i) {

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -116,6 +117,12 @@ class Node {
   core::Host& host() noexcept { return host_; }
   vlink::VLink& vlink() noexcept { return vlink_; }
 
+  /// False once the node left the grid (Grid::remove_node_live).  The
+  /// object itself is quarantined, not destroyed — pending closures
+  /// and arbitration events may still reference it — but its network
+  /// endpoints are detached, so traffic involving it drops.
+  bool alive() const noexcept { return alive_; }
+
   /// The node's NetAccess point (all incoming traffic funnels here).
   net::NetAccess& access() noexcept { return *access_; }
 
@@ -156,6 +163,7 @@ class Node {
 
   core::Host host_;
   vlink::VLink vlink_;
+  bool alive_ = true;
   std::unique_ptr<net::NetAccess> access_;
   std::unique_ptr<selector::Chooser> chooser_;
   std::vector<net::MadIO*> madios_;  // borrowed from Grid's SAN stacks
@@ -178,7 +186,9 @@ class Grid {
   simnet::Fabric& fabric() noexcept { return fabric_; }
 
   /// Declare `n` additional nodes.  Only valid before build().
-  void add_nodes(int n);
+  /// (std::size_t: scenario topologies declare thousands of nodes, so
+  /// the count must never funnel through int arithmetic.)
+  void add_nodes(std::size_t n);
 
   /// Declare a network from a link model.  Only valid before build().
   simnet::NetId add_network(const simnet::LinkModel& model);
@@ -197,6 +207,35 @@ class Grid {
   std::size_t size() const noexcept { return node_count_; }
   Node& node(std::size_t i);
 
+  /// True when `i` names a node that is in the grid and has not been
+  /// removed.  False for out-of-range ids and before build().
+  bool alive(core::NodeId i) const noexcept;
+
+  /// Nodes currently alive (size() minus removed nodes).
+  std::size_t alive_count() const noexcept { return alive_count_; }
+
+  // --- Runtime topology mutation (churn) -----------------------------------
+  // The scenario layer joins and removes nodes while the engine runs.
+  // All three are only valid AFTER build(); ids are never reused.
+
+  /// Add one node to a built grid; returns its id.  The node starts
+  /// with no attachments (attach_live wires it into networks).
+  core::NodeId add_node_live();
+
+  /// Attach a live node to `net` and wire the same driver stack
+  /// build() would have wired for this (network, node) pair — SAN
+  /// stack for "madio" profiles; NetDriver plus pstream/adoc/vrp
+  /// adapters for IP profiles.  Every chooser cache is invalidated, so
+  /// the next method-less connect anywhere sees the new reachability.
+  void attach_live(simnet::NetId net, core::NodeId node);
+
+  /// Remove a live node: detach it from every network it was attached
+  /// to (in-flight messages towards it drop; future connects fail
+  /// unreachable) and mark it dead.  The Node object is quarantined,
+  /// not destroyed — pending engine events may still hold pointers
+  /// into it, the usual lifetime rule of this stack.
+  void remove_node_live(core::NodeId node);
+
   /// Build a circuit over `group`: one endpoint per member, each on a
   /// grid-allocated Madeleine channel of the node's first SAN
   /// attachment, establishment handshaked through the group root (see
@@ -210,14 +249,38 @@ class Grid {
  private:
   struct SanStack;  // SanDriver + Madeleine + MadIO, defined in grid.cpp
 
+  /// One attachment's planned driver-stack method names (empty string:
+  /// that stack member is not wired).  Shared between build() and
+  /// attach_live() so the two wiring paths can never drift.
+  struct Planned {
+    std::string method;
+    std::string pstream;
+    std::string adoc;
+    std::string vrp;
+  };
+
+  /// Claim this attachment's (unique, deterministic) method names from
+  /// used_methods_.
+  Planned plan_attachment(simnet::NetId net, core::NodeId node);
+
+  /// Instantiate the planned driver stack on `node` for `net`.
+  void wire_attachment(simnet::NetId net, core::NodeId node,
+                       const Planned& plan);
+
+  void invalidate_choosers();
+
   core::Engine engine_;
   simnet::Fabric fabric_{engine_};
   std::size_t node_count_ = 0;
+  std::size_t alive_count_ = 0;
   std::vector<std::pair<simnet::NetId, core::NodeId>> attachments_;
   std::vector<std::unique_ptr<Node>> nodes_;
   // Declared after nodes_ so stacks die before the vlink drivers that
   // borrow them; nothing runs the engine in between.
   std::vector<std::unique_ptr<SanStack>> san_stacks_;
+  // Method names already claimed per node, so live attachments keep
+  // the same no-collision guarantee the build() plan had.
+  std::map<core::NodeId, std::set<std::string>> used_methods_;
   BuildOptions options_;
   bool built_ = false;
 };

@@ -17,9 +17,10 @@ enum class Cat : std::uint32_t {
   arbitration = 1u << 4,  // SysIO/MadIO pump dispatches
   circuit = 1u << 5,      // Madeleine circuit endpoints
   personality = 1u << 6,  // middleware CPU charges
+  scenario = 1u << 7,     // workload sessions / churn injection
 };
 
-inline constexpr std::uint32_t kAllCats = 0x7f;
+inline constexpr std::uint32_t kAllCats = 0xff;
 
 constexpr std::uint32_t bit(Cat c) noexcept {
   return static_cast<std::uint32_t>(c);
@@ -36,6 +37,7 @@ constexpr const char* cat_name(Cat c) noexcept {
     case Cat::arbitration: return "arbitration";
     case Cat::circuit: return "circuit";
     case Cat::personality: return "personality";
+    case Cat::scenario: return "scenario";
   }
   return "unknown";
 }

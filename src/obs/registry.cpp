@@ -54,6 +54,14 @@ Histogram& Registry::histogram(std::string_view name) {
   return it->second;
 }
 
+Rate& Registry::rate(std::string_view name) {
+  auto it = rates_.find(name);
+  if (it == rates_.end()) {
+    it = rates_.emplace(std::string(name), Rate{clock_}).first;
+  }
+  return it->second;
+}
+
 const Counter* Registry::find_counter(std::string_view name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
@@ -69,10 +77,16 @@ const Histogram* Registry::find_histogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+const Rate* Registry::find_rate(std::string_view name) const {
+  auto it = rates_.find(name);
+  return it == rates_.end() ? nullptr : &it->second;
+}
+
 void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  rates_.clear();
 }
 
 void Registry::merge(const Registry& other) {
@@ -82,6 +96,7 @@ void Registry::merge(const Registry& other) {
     if (g.max() > mine.max()) mine.set(g.max());
   }
   for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+  for (const auto& [name, r] : other.rates_) rate(name).merge(r);
 }
 
 std::string Registry::snapshot() const {
@@ -106,6 +121,17 @@ std::string Registry::snapshot() const {
     append_i64(out, g.value());
     out += " max=";
     append_i64(out, g.max());
+    out += "\n";
+  }
+  for (const auto& [name, r] : rates_) {
+    out += "rate " + name + " ";
+    append_u64(out, r.count());
+    out += " elapsed=";
+    append_u64(out, r.elapsed());
+    out += "ns per_sec=";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", r.per_sec());
+    out += buf;
     out += "\n";
   }
   for (const auto& [name, h] : histograms_) {

@@ -104,12 +104,51 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
+/// Throughput instrument: a monotone count paired with the virtual
+/// time it accumulated over, so events/sec and bytes/sec become
+/// first-class snapshot lines instead of post-processing.  The window
+/// runs from the instrument's creation instant to the owning engine's
+/// current `now`; merged-in rates contribute their whole windows.
+class Rate {
+ public:
+  explicit Rate(const core::SimTime* clock = nullptr)
+      : clock_(clock), start_(clock != nullptr ? *clock : 0) {}
+
+  void add(std::uint64_t n = 1) noexcept { count_ += n; }
+  std::uint64_t count() const noexcept { return count_; }
+
+  core::Duration elapsed() const noexcept {
+    return base_elapsed_ + (clock_ != nullptr ? *clock_ - start_ : 0);
+  }
+
+  /// count / elapsed, per second of virtual time; 0 before any time
+  /// has passed.
+  double per_sec() const noexcept {
+    const core::Duration e = elapsed();
+    return e == 0 ? 0.0 : static_cast<double>(count_) / core::to_seconds(e);
+  }
+
+  /// Accumulate another rate: counts add, windows add — the operation
+  /// the (clock-less) global accumulator applies when an engine dies.
+  void merge(const Rate& other) noexcept {
+    count_ += other.count();
+    base_elapsed_ += other.elapsed();
+  }
+
+ private:
+  const core::SimTime* clock_;
+  core::SimTime start_;
+  core::Duration base_elapsed_ = 0;
+  std::uint64_t count_ = 0;
+};
+
 class Registry {
  public:
   // std::less<> enables string_view lookups without a temporary string.
   using Counters = std::map<std::string, Counter, std::less<>>;
   using Gauges = std::map<std::string, Gauge, std::less<>>;
   using Histograms = std::map<std::string, Histogram, std::less<>>;
+  using Rates = std::map<std::string, Rate, std::less<>>;
 
   /// `clock` (may be null) points at the owning engine's virtual `now`;
   /// only the snapshot header reads it.
@@ -123,18 +162,22 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  Rate& rate(std::string_view name);
 
   /// Lookup without creating; nullptr when absent.
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;
   const Histogram* find_histogram(std::string_view name) const;
+  const Rate* find_rate(std::string_view name) const;
 
   const Counters& counters() const noexcept { return counters_; }
   const Gauges& gauges() const noexcept { return gauges_; }
   const Histograms& histograms() const noexcept { return histograms_; }
+  const Rates& rates() const noexcept { return rates_; }
 
   std::size_t size() const noexcept {
-    return counters_.size() + gauges_.size() + histograms_.size();
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           rates_.size();
   }
   bool empty() const noexcept { return size() == 0; }
   void clear();
@@ -155,6 +198,7 @@ class Registry {
   Counters counters_;
   Gauges gauges_;
   Histograms histograms_;
+  Rates rates_;
 };
 
 /// Install (or clear, with nullptr) the process-global accumulator:

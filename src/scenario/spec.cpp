@@ -1,0 +1,82 @@
+#include "scenario/spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace padico::scenario {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("ScenarioSpec: " + what);
+}
+
+}  // namespace
+
+void ScenarioSpec::validate() const {
+  if (clusters.empty()) bad("clusters must be non-empty");
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const ClusterSpec& c = clusters[i];
+    const std::string at = "clusters[" + std::to_string(i) + "]";
+    if (c.nodes == 0) bad(at + ".nodes must be >= 1");
+    if (c.servers == 0 || c.servers > c.nodes) {
+      bad(at + ".servers must be in [1, nodes]");
+    }
+  }
+
+  const WorkloadSpec& w = workload;
+  if (!(w.rate_per_sec > 0.0) || !std::isfinite(w.rate_per_sec)) {
+    bad("workload.rate_per_sec must be positive and finite");
+  }
+  if (!(w.burst_depth >= 0.0) || w.burst_depth >= 1.0) {
+    bad("workload.burst_depth must be in [0, 1)");
+  }
+  if (w.burst_depth > 0.0 && w.burst_period < 2) {
+    bad("workload.burst_period must be >= 2 ns when burst_depth > 0");
+  }
+  if (!(w.pareto_alpha > 0.0) || w.pareto_alpha > 16.0) {
+    bad("workload.pareto_alpha must be in (0, 16]");
+  }
+  if (w.gap_min == 0) bad("workload.gap_min must be >= 1 ns");
+  if (w.gap_max < w.gap_min) bad("workload.gap_max must be >= gap_min");
+  if (w.requests_per_session == 0) {
+    bad("workload.requests_per_session must be >= 1");
+  }
+  if (w.request_bytes == 0) bad("workload.request_bytes must be >= 1");
+  if (w.reply_bytes == 0) bad("workload.reply_bytes must be >= 1");
+  if (w.keys == 0) bad("workload.keys must be >= 1");
+  if (!(w.key_skew >= 0.0) || w.key_skew > 8.0) {
+    bad("workload.key_skew must be in [0, 8]");
+  }
+
+  for (std::size_t i = 0; i < churn.size(); ++i) {
+    const ChurnEvent& e = churn[i];
+    const std::string at = "churn[" + std::to_string(i) + "]";
+    if (e.kind != ChurnKind::wan_brownout && e.cluster >= clusters.size()) {
+      bad(at + ".cluster out of range");
+    }
+    switch (e.kind) {
+      case ChurnKind::node_join:
+      case ChurnKind::node_leave:
+        break;
+      case ChurnKind::link_flap:
+        if (e.duration == 0) bad(at + ".duration must be >= 1 ns");
+        break;
+      case ChurnKind::loss_burst:
+        if (e.duration == 0) bad(at + ".duration must be >= 1 ns");
+        if (!(e.magnitude >= 0.0) || e.magnitude > 1.0) {
+          bad(at + ".magnitude (loss rate) must be in [0, 1]");
+        }
+        break;
+      case ChurnKind::wan_brownout:
+        if (e.duration == 0) bad(at + ".duration must be >= 1 ns");
+        if (!(e.magnitude > 0.0) || e.magnitude > 1.0) {
+          bad(at + ".magnitude (bandwidth fraction) must be in (0, 1]");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace padico::scenario

@@ -1,0 +1,110 @@
+// ScenarioSpec: the compact description a padico::scenario workload is
+// generated from — clusters and their link profiles, the arrival
+// process and per-session shape of the client traffic, and a schedule
+// of churn events.  One spec plus one seed is the entire input of a
+// run: everything downstream (topology, arrival instants, client and
+// key placement, churn victims) derives deterministically from it, so
+// a run is replayable from the spec and checkable from its digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "simnet/link_model.hpp"
+
+namespace padico::scenario {
+
+/// One cluster: `nodes` machines on a private network with `profile`;
+/// the first `servers` of them accept sessions (the cluster fan-out).
+struct ClusterSpec {
+  std::uint32_t nodes = 4;
+  std::uint32_t servers = 1;
+  simnet::LinkModel profile = simnet::profiles::ethernet100();
+};
+
+/// Arrival-process family for session open instants.
+enum class Arrival : std::uint8_t {
+  poisson,  // (in)homogeneous Poisson via thinning; see arrival.hpp
+  pareto,   // bounded-Pareto i.i.d. gaps (heavy-tailed)
+};
+
+/// Which middleware personality the client sessions emulate.  The
+/// flavor sets the per-message virtual CPU charge on both ends and the
+/// per-message envelope overhead on the wire (SOAP's XML framing), so
+/// flavors are distinguishable in every digest and rate.
+enum class Flavor : std::uint8_t { vio, jsock, soap };
+
+struct WorkloadSpec {
+  /// Total client sessions the scenario opens.
+  std::uint64_t sessions = 10'000;
+
+  Arrival arrival = Arrival::poisson;
+
+  /// Mean session-open rate (per second of virtual time).
+  double rate_per_sec = 100'000.0;
+
+  /// Poisson modulation depth in [0, 1): 0 is homogeneous; > 0 swings
+  /// the instantaneous rate by ±depth around the mean over each
+  /// `burst_period` (triangle wave, sampled by thinning).
+  double burst_depth = 0.0;
+  core::Duration burst_period = core::milliseconds(10);
+
+  /// Bounded-Pareto gap parameters (arrival == pareto): tail index and
+  /// the gap support [gap_min, gap_max].
+  double pareto_alpha = 1.5;
+  core::Duration gap_min = core::microseconds(1);
+  core::Duration gap_max = core::seconds(1);
+
+  Flavor flavor = Flavor::vio;
+
+  /// Request/reply loop per session: `requests_per_session` round
+  /// trips of `request_bytes` up / `reply_bytes` down, then close.
+  std::uint32_t requests_per_session = 1;
+  std::uint32_t request_bytes = 64;
+  std::uint32_t reply_bytes = 256;
+
+  /// Hot-key skew: each session targets one of `keys` keys, drawn
+  /// Zipf(key_skew) (0 = uniform); the key hashes onto a server.
+  std::uint32_t keys = 1024;
+  double key_skew = 0.99;
+};
+
+enum class ChurnKind : std::uint8_t {
+  node_join,     // add a node to `cluster` and start using it
+  node_leave,    // remove one (non-server) node of `cluster`
+  link_flap,     // cluster network down for `duration`
+  loss_burst,    // cluster network loss_rate = magnitude for `duration`
+  wan_brownout,  // WAN bandwidth scaled by magnitude for `duration`
+};
+
+struct ChurnEvent {
+  ChurnKind kind = ChurnKind::node_leave;
+  /// Injection instant (virtual time).
+  core::SimTime at = 0;
+  /// Target cluster index (ignored by wan_brownout).
+  std::uint32_t cluster = 0;
+  /// Fault length for link_flap / loss_burst / wan_brownout.
+  core::Duration duration = 0;
+  /// loss_burst: the burst's frame loss rate in [0, 1];
+  /// wan_brownout: the remaining bandwidth fraction in (0, 1].
+  double magnitude = 0.0;
+};
+
+/// The whole scenario.  `validate()` throws std::invalid_argument
+/// naming the offending field; it mutates nothing, so a corrected spec
+/// can be retried.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::uint64_t seed = 1;
+  std::vector<ClusterSpec> clusters;
+  /// The inter-cluster backbone every node is attached to.
+  simnet::LinkModel wan = simnet::profiles::vthd_wan();
+  WorkloadSpec workload;
+  std::vector<ChurnEvent> churn;
+
+  void validate() const;
+};
+
+}  // namespace padico::scenario

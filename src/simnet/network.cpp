@@ -18,6 +18,8 @@ Network::Network(core::Engine& engine, LinkModel model, std::uint64_t seed)
 
 void Network::attach(core::NodeId node) { endpoints_.try_emplace(node); }
 
+void Network::detach(core::NodeId node) { endpoints_.erase(node); }
+
 bool Network::attached(core::NodeId node) const {
   return endpoints_.count(node) != 0;
 }
@@ -43,6 +45,10 @@ core::Duration Network::tx_time(std::size_t bytes) const {
 
 core::Result<core::SimTime> Network::send(core::NodeId src, core::NodeId dst,
                                           core::Bytes payload) {
+  if (!up_) {
+    return core::Result<core::SimTime>::err(core::Status::unreachable,
+                                            model_.name + ": link down");
+  }
   auto sit = endpoints_.find(src);
   auto dit = endpoints_.find(dst);
   if (sit == endpoints_.end() || dit == endpoints_.end()) {

@@ -54,6 +54,27 @@ class Network {
   void attach(core::NodeId node);
   bool attached(core::NodeId node) const;
 
+  /// Remove `node` from the medium at runtime (churn: node leave).
+  /// Messages already on the wire towards it are dropped on delivery,
+  /// and new sends involving it fail unreachable — the same path an
+  /// unattached node always took, so nothing above needs a special
+  /// case.  A no-op for nodes never attached.
+  void detach(core::NodeId node);
+
+  /// Administrative link state (churn: link flap).  While down, every
+  /// send fails unreachable; messages already on the wire still
+  /// deliver (they left the NIC before the fault).
+  void set_up(bool up) noexcept { up_ = up; }
+  bool up() const noexcept { return up_; }
+
+  /// Swap the link profile at runtime (churn: loss bursts, WAN
+  /// brownouts).  Endpoints, NIC backlogs, the loss RNG stream and the
+  /// observability identity (counters / trace span keyed by the
+  /// ORIGINAL profile name) all survive the swap, so a temporary
+  /// degradation is restore(old_model) away and metrics stay in one
+  /// series.
+  void set_model(LinkModel model) { model_ = std::move(model); }
+
   /// Install the receive callback for `node` (one per node; drivers own
   /// demultiplexing).  Messages arriving with no receiver are dropped.
   void set_receiver(core::NodeId node, RecvFn fn);
@@ -93,6 +114,7 @@ class Network {
   core::Engine* engine_;
   LinkModel model_;
   core::Rng rng_;
+  bool up_ = true;
   std::map<core::NodeId, Endpoint> endpoints_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;

@@ -78,7 +78,14 @@ void FrameDriver::connect(const RemoteAddr& remote, ConnectFn on_connect) {
   const std::uint64_t conn_id =
       (static_cast<std::uint64_t>(host_->id()) << 40) | next_conn_++;
   connecting_[conn_id] = std::move(on_connect);
-  wire::Header h{wire::FrameType::connect, next_ephemeral_++, remote.port,
+  // The ephemeral counter wraps WITHIN [49152, 65535]: million-session
+  // workloads must never walk it into the listener port range (data
+  // frames demux by conn_id, so reusing a source port is benign).
+  const core::Port src_port = next_ephemeral_;
+  next_ephemeral_ = next_ephemeral_ == 65535
+                        ? static_cast<core::Port>(49152)
+                        : static_cast<core::Port>(next_ephemeral_ + 1);
+  wire::Header h{wire::FrameType::connect, src_port, remote.port,
                  host_->id(), conn_id};
   emit(remote.node, h, {});
 }

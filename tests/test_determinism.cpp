@@ -18,6 +18,7 @@
 #include "middleware/mpi/mpi.hpp"
 #include "net/madio.hpp"
 #include "obs/obs.hpp"
+#include "scenario/scenario.hpp"
 #include "selector/selector.hpp"
 #include "simnet/simnet.hpp"
 
@@ -517,6 +518,79 @@ TEST(Determinism, VrpLossyTransferUnchangedByTracing) {
   std::string digest_b;
   vrp_lossy_run(&digest_b);
   EXPECT_EQ(digest_a, digest_b);
+}
+
+// --- Large-topology scenario tier -------------------------------------------
+
+namespace {
+
+namespace sc = padico::scenario;
+
+/// 32 clusters x 32 nodes = 1024 nodes under one WAN, a few thousand
+/// bursty sessions, and one of every churn kind mid-run — the whole
+/// scenario engine on one seed.  Sessions are kept modest so the test
+/// stays in the fast tier; test_scenario_large drives the six-figure
+/// counts.
+sc::ScenarioSpec thousand_node_spec() {
+  sc::ScenarioSpec spec = sc::small_world(32, 32, 6'000, 2'000'000.0, 17);
+  spec.workload.burst_depth = 0.5;
+  spec.workload.burst_period = pc::milliseconds(1);
+  spec.churn.push_back({sc::ChurnKind::node_join, pc::microseconds(500),
+                        /*cluster=*/1, 0, 0.0});
+  spec.churn.push_back({sc::ChurnKind::node_leave, pc::microseconds(900),
+                        /*cluster=*/2, 0, 0.0});
+  spec.churn.push_back({sc::ChurnKind::link_flap, pc::microseconds(1300), 3,
+                        pc::microseconds(400), 0.0});
+  spec.churn.push_back({sc::ChurnKind::loss_burst, pc::microseconds(1700), 4,
+                        pc::microseconds(400), /*loss=*/0.5});
+  spec.churn.push_back({sc::ChurnKind::wan_brownout, pc::microseconds(2100),
+                        0, pc::milliseconds(1), /*fraction=*/0.1});
+  return spec;
+}
+
+sc::Report thousand_node_run(bool traced = false) {
+  std::optional<ScopedTracing> tracing;
+  if (traced) tracing.emplace();
+  sc::Scenario s(thousand_node_spec());
+  return s.run();
+}
+
+}  // namespace
+
+TEST(Determinism, ThousandNodeScenarioDigestBitIdenticalAcrossRuns) {
+  const sc::Report a = thousand_node_run();
+  const sc::Report b = thousand_node_run();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.churn_applied, b.churn_applied);
+  EXPECT_EQ(a.opened, a.closed + a.failed);
+}
+
+TEST(Determinism, ThousandNodeScenarioUnchangedByTracing) {
+  const sc::Report untraced = thousand_node_run(false);
+  const sc::Report traced = thousand_node_run(true);
+  EXPECT_EQ(untraced.digest, traced.digest);
+  EXPECT_EQ(untraced.duration, traced.duration);
+  EXPECT_EQ(untraced.registry, traced.registry);
+}
+
+TEST(Determinism, ScenarioReplayFromDigestRestoresTheRegistry) {
+  // The replay contract: a digest identifies a run completely, so a
+  // matching digest on a re-run guarantees the full observable state —
+  // every counter, rate and histogram in the registry snapshot — is
+  // restored bit-for-bit.  A different seed breaks both.
+  const sc::Report a = thousand_node_run();
+  const sc::Report b = thousand_node_run();
+  ASSERT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.registry, b.registry);
+
+  sc::ScenarioSpec other = thousand_node_spec();
+  other.seed = 18;
+  sc::Scenario s(std::move(other));
+  const sc::Report c = s.run();
+  EXPECT_NE(c.digest, a.digest);
+  EXPECT_NE(c.registry, a.registry);
 }
 
 TEST(Determinism, LossyNetworkStillDeterministic) {
