@@ -1,0 +1,266 @@
+// Engine fast-path microbench: ns/event (and cycles/event) for the
+// calendar queue against the kept std::map reference mode, in ONE
+// process so the ratio is machine-portable and can be CI-gated.
+//
+// Legs:
+//
+//   dispatch — steady-state schedule+dispatch churn: a fixed population
+//              of self-rescheduling actors keeps the queue at constant
+//              depth while a round budget of events drains.  This is
+//              the headline: `dispatch.speedup_vs_map` must stay >= 2.
+//   burst    — same-instant batches: B events at one future tick,
+//              drained off the queue's cached-bucket fast path.
+//   far      — every offset beyond the ring window, so each event takes
+//              the overflow-heap path (the queue's worst case).
+//   scenario — the 10k-node generated workload end to end, calendar vs
+//              map, wall events/sec.  Virtual-time events/vsec is
+//              deterministic and band-gated; wall figures are recorded
+//              as info metrics (machine-dependent by nature).
+//
+// Cycle counts come from rdtsc (per SNIPPETS.md exemplar 2) with a
+// steady_clock fallback on non-x86; ns come from steady_clock.  Only
+// in-process ratios and virtual-time rates are gated in
+// bench/baselines/BENCH_engine.json — see tools/check_bench_json.py
+// gate modes.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/engine.hpp"
+#include "core/event_queue.hpp"
+#include "core/rng.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+namespace pc = padico::core;
+namespace sc = padico::scenario;
+
+// --------------------------------------------------------------------------
+// Cycle counter (SNIPPETS.md exemplar 2: raw rdtsc, no serialization —
+// we time batches of >=100k events, so pipeline skew is noise)
+// --------------------------------------------------------------------------
+
+inline std::uint64_t read_tsc() {
+#if defined(__x86_64__)
+  std::uint32_t hi, lo;
+  __asm__ __volatile__("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#elif defined(__i386__)
+  std::uint64_t x;
+  __asm__ volatile(".byte 0x0f, 0x31" : "=A"(x));
+  return x;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+struct Timed {
+  double ns_per_event = 0;
+  double cycles_per_event = 0;
+};
+
+/// Run `body`, which dispatches events on `eng`; charge wall ns and
+/// tsc cycles to the events it processed.
+template <typename Body>
+Timed timed_events(pc::Engine& eng, Body&& body) {
+  const std::uint64_t ev0 = eng.processed();
+  const std::uint64_t c0 = read_tsc();
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t c1 = read_tsc();
+  const double events = static_cast<double>(eng.processed() - ev0);
+  Timed out;
+  if (events == 0) return out;
+  out.ns_per_event =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / events;
+  out.cycles_per_event = static_cast<double>(c1 - c0) / events;
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// dispatch leg: self-rescheduling actors at constant queue depth
+// --------------------------------------------------------------------------
+
+struct Actor {
+  pc::Engine* eng;
+  pc::Rng* rng;
+  std::uint64_t* left;
+  std::uint32_t max_offset;
+
+  void fire() {
+    if (*left == 0) return;
+    --*left;
+    // Offsets stay inside [1, max_offset] so the leg picks which queue
+    // level (ring vs far heap) it exercises.
+    eng->schedule_after(
+        1 + static_cast<pc::Duration>(rng->uniform_int(0, max_offset - 1)),
+        [this] { fire(); });
+  }
+};
+
+bench::Run churn_run(pc::QueueConfig::Mode mode, std::uint32_t max_offset,
+                     int rounds, std::uint64_t events_per_round,
+                     double* cycles_out) {
+  pc::QueueConfig cfg;
+  cfg.mode = mode;
+  pc::Engine eng(cfg);
+  pc::Rng rng(0xbe7c'0de5'0000'0001ull);
+
+  constexpr int kActors = 512;  // constant queue depth while draining
+  std::vector<Actor> actors(kActors);
+  std::uint64_t left = 0;
+  for (Actor& a : actors) a = Actor{&eng, &rng, &left, max_offset};
+
+  bench::Run run;
+  run.warmup = 1;
+  double cycles_acc = 0;
+  for (int r = 0; r < rounds + run.warmup; ++r) {
+    left = events_per_round;
+    for (Actor& a : actors) a.fire();  // seed the population
+    const Timed t = timed_events(eng, [&] { eng.run_until_idle(); });
+    if (r < run.warmup) continue;
+    run.samples.push_back(t.ns_per_event);
+    cycles_acc += t.cycles_per_event;
+  }
+  double sum = 0;
+  for (double s : run.samples) sum += s;
+  run.value = sum / static_cast<double>(run.samples.size());
+  if (cycles_out) *cycles_out = cycles_acc / rounds;
+  return run;
+}
+
+// --------------------------------------------------------------------------
+// burst leg: B events at one instant, drained as a batch
+// --------------------------------------------------------------------------
+
+bench::Run burst_run(pc::QueueConfig::Mode mode, int rounds) {
+  pc::QueueConfig cfg;
+  cfg.mode = mode;
+  pc::Engine eng(cfg);
+  constexpr int kBurst = 4096;
+  volatile std::uint64_t sink = 0;
+
+  bench::Run run;
+  run.warmup = 1;
+  for (int r = 0; r < rounds + run.warmup; ++r) {
+    for (int i = 0; i < kBurst; ++i) {
+      eng.schedule_after(1000, [&sink] { sink = sink + 1; });
+    }
+    const Timed t = timed_events(eng, [&] { eng.run_until_idle(); });
+    if (r < run.warmup) continue;
+    run.samples.push_back(t.ns_per_event);
+  }
+  double sum = 0;
+  for (double s : run.samples) sum += s;
+  run.value = sum / static_cast<double>(run.samples.size());
+  return run;
+}
+
+// --------------------------------------------------------------------------
+// scenario leg: the 10k-node generated workload, end to end
+// --------------------------------------------------------------------------
+
+struct ScenarioFigures {
+  double events_per_wall_sec = 0;
+  double events_per_vsec = 0;
+  std::string digest;
+};
+
+ScenarioFigures scenario_run(pc::QueueConfig::Mode mode) {
+  pc::QueueConfig cfg;
+  cfg.mode = mode;
+  pc::ScopedQueueConfig scoped(cfg);
+  // 10k nodes (100 clusters x 100); 100k sessions keeps the leg a few
+  // seconds — bench_scenario owns the full 1M-session scale.
+  sc::ScenarioSpec spec = sc::small_world(100, 100, 100'000, 5'000'000.0, 2026);
+  sc::Scenario s(spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  const sc::Report r = s.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ScenarioFigures fig;
+  fig.events_per_wall_sec =
+      static_cast<double>(s.grid().engine().processed()) / wall;
+  fig.events_per_vsec = r.events_per_vsec;
+  fig.digest = r.digest;
+  return fig;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv, "engine");
+  std::printf("# Engine fast path: calendar queue vs std::map reference "
+              "(one process, ratios are machine-portable)\n");
+
+  constexpr int kRounds = 9;
+  constexpr std::uint64_t kEventsPerRound = 200'000;
+  // Offsets within the default ring window exercise the O(1) buckets.
+  const std::uint32_t near = pc::QueueConfig{}.ring_ticks / 2;
+
+  double cal_cycles = 0, map_cycles = 0;
+  const bench::Run cal = churn_run(pc::QueueConfig::Mode::calendar, near,
+                                   kRounds, kEventsPerRound, &cal_cycles);
+  const bench::Run map = churn_run(pc::QueueConfig::Mode::map, near, kRounds,
+                                   kEventsPerRound, &map_cycles);
+  const double speedup = map.value / cal.value;
+  std::printf("dispatch  calendar %7.1f ns/ev (%6.0f cyc)   map %7.1f ns/ev "
+              "(%6.0f cyc)   speedup %.2fx\n",
+              cal.value, cal_cycles, map.value, map_cycles, speedup);
+  session.metric("dispatch.calendar_ns_per_event", "ns", cal);
+  session.metric("dispatch.map_ns_per_event", "ns", map);
+  session.metric("dispatch.calendar_cycles_per_event", "cyc", cal_cycles);
+  session.metric("dispatch.speedup_vs_map", "x", speedup);
+
+  const bench::Run bcal = burst_run(pc::QueueConfig::Mode::calendar, kRounds);
+  const bench::Run bmap = burst_run(pc::QueueConfig::Mode::map, kRounds);
+  const double bspeed = bmap.value / bcal.value;
+  std::printf("burst     calendar %7.1f ns/ev                map %7.1f "
+              "ns/ev                speedup %.2fx\n",
+              bcal.value, bmap.value, bspeed);
+  session.metric("burst.calendar_ns_per_event", "ns", bcal);
+  session.metric("burst.speedup_vs_map", "x", bspeed);
+
+  // Far-future offsets: 4x to 64x the ring window, all heap-path.
+  const std::uint32_t far_lo = pc::QueueConfig{}.ring_ticks * 4;
+  const bench::Run far = churn_run(pc::QueueConfig::Mode::calendar,
+                                   far_lo * 16, kRounds, kEventsPerRound,
+                                   nullptr);
+  std::printf("far-heap  calendar %7.1f ns/ev (overflow path)\n", far.value);
+  session.metric("far.calendar_ns_per_event", "ns", far);
+
+  const ScenarioFigures s_cal =
+      scenario_run(pc::QueueConfig::Mode::calendar);
+  const ScenarioFigures s_map = scenario_run(pc::QueueConfig::Mode::map);
+  if (s_cal.digest != s_map.digest) {
+    std::fprintf(stderr,
+                 "FAIL: 10k-node digest differs across queue modes "
+                 "(%s vs %s)\n",
+                 s_cal.digest.c_str(), s_map.digest.c_str());
+    return 1;
+  }
+  std::printf("scenario  10k nodes: %0.3g ev/wall-s (map %0.3g), "
+              "%0.3g ev/vs, digest %s (modes agree)\n",
+              s_cal.events_per_wall_sec, s_map.events_per_wall_sec,
+              s_cal.events_per_vsec, s_cal.digest.c_str());
+  session.metric("scenario10k.events_per_vsec", "ev/s", s_cal.events_per_vsec);
+  session.metric("scenario10k.events_per_wall_sec", "ev/s",
+                 s_cal.events_per_wall_sec);
+  session.metric("scenario10k.map_events_per_wall_sec", "ev/s",
+                 s_map.events_per_wall_sec);
+
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: dispatch speedup vs map reference %.2fx < 2x\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

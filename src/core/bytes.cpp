@@ -5,6 +5,9 @@ namespace padico::core {
 Bytes IoVec::flatten() const {
   Bytes out;
   out.reserve(byte_size_);
+  if (has_front_) {
+    out.insert(out.end(), front_.view.begin(), front_.view.end());
+  }
   for (const Segment& s : segments_) {
     out.insert(out.end(), s.view.begin(), s.view.end());
   }

@@ -4,16 +4,25 @@ namespace padico::core {
 
 void Engine::schedule_at(SimTime t, EventFn fn) {
   if (t < now_) t = now_;
-  events_.emplace(Key{t, seq_++}, std::move(fn));
+  queue_.push(t, seq_++, std::move(fn));
+  pending_gauge_->set(static_cast<std::int64_t>(queue_.size()));
+}
+
+void Engine::publish_queue_gauges() noexcept {
+  pending_gauge_->set(static_cast<std::int64_t>(queue_.size()));
+  ring_gauge_->set(static_cast<std::int64_t>(queue_.ring_size()));
+  overflow_gauge_->set(static_cast<std::int64_t>(queue_.overflow_size()));
+  buckets_gauge_->set(static_cast<std::int64_t>(queue_.occupied_buckets()));
 }
 
 bool Engine::step() {
-  if (events_.empty()) return false;
-  auto node = events_.extract(events_.begin());
-  now_ = node.key().first;
+  SimTime t;
+  EventFn fn;
+  if (!queue_.pop(t, fn)) return false;
+  now_ = t;
   ++processed_;
   events_counter_->add();
-  node.mapped()();
+  fn();
   return true;
 }
 

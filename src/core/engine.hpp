@@ -5,14 +5,20 @@
 // same instant run in the order they were scheduled, so a given program
 // produces a bit-identical event trace on every run — the property all
 // reproduction benchmarks rely on.  See DESIGN.md "Timing model".
+//
+// The queue is a two-level calendar queue (near-future ring of per-ns
+// buckets + far-future heap; see core/event_queue.hpp) with pooled,
+// allocation-free event nodes; `QueueConfig::Mode::map` keeps the
+// original std::map queue alive as a reference mode for benches and
+// determinism cross-checks.  See DESIGN.md "Engine internals".
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <utility>
 
+#include "core/bytes.hpp"
+#include "core/event_queue.hpp"
 #include "core/time.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -21,9 +27,22 @@ namespace padico::core {
 
 class Engine {
  public:
-  using EventFn = std::function<void()>;
+  /// Event closure: 48 bytes of inline capture, heap fallback beyond
+  /// (see core/inplace_fn.hpp).  Move-only; copies in from lvalue
+  /// callables like std::function did.
+  using EventFn = core::EventFn;
 
-  Engine() = default;
+  /// Default-constructed engines take the process-wide
+  /// `default_queue_config()` — how tests and benches run engines
+  /// built deep inside Grid/Scenario under another queue mode.
+  Engine() : Engine(default_queue_config()) {}
+  explicit Engine(const QueueConfig& cfg) : queue_(cfg) {
+    // Reference mode reproduces the seed engine end to end: std::map
+    // event queue AND no frame-buffer recycling.
+    if (queue_.mode() == QueueConfig::Mode::map) {
+      bytes_pool_.set_enabled(false);
+    }
+  }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -42,12 +61,26 @@ class Engine {
   void post(EventFn fn) { schedule_at(now_, std::move(fn)); }
 
   /// True while at least one event is queued.
-  bool pending() const noexcept { return !events_.empty(); }
+  bool pending() const noexcept { return !queue_.empty(); }
 
-  std::size_t pending_count() const noexcept { return events_.size(); }
+  std::size_t pending_count() const noexcept { return queue_.size(); }
 
   /// Total events dispatched since construction.
   std::uint64_t processed() const noexcept { return processed_; }
+
+  /// The event queue itself (ring/overflow occupancy, configuration).
+  const EventQueue& queue() const noexcept { return queue_; }
+
+  /// Refresh the queue-shape gauges (`engine.ring`, `engine.overflow`,
+  /// `engine.buckets`) from the queue's current state.  The depth
+  /// gauge `engine.pending` is maintained on every schedule; the shape
+  /// gauges are snapshot-on-demand so the hot path stays lean.
+  void publish_queue_gauges() noexcept;
+
+  /// Pool of recycled `Bytes` buffers for frame-sized payloads — the
+  /// simnet/vlink TX path acquires here and the RX path releases, so
+  /// steady-state frame traffic stops allocating (see core/bytes.hpp).
+  BytesPool& bytes_pool() noexcept { return bytes_pool_; }
 
   /// This engine's metrics registry — every layer above records its
   /// named counters/gauges/histograms here (virtual-time only, so the
@@ -65,31 +98,37 @@ class Engine {
   bool step();
 
   /// Dispatch events until the queue is empty.  Returns the number of
-  /// events dispatched.
+  /// events dispatched.  Same-instant batches drain off the queue's
+  /// cached bucket without re-probing the queue head.
   std::size_t run_until_idle();
 
   /// Dispatch events until `stop()` returns true or the queue drains,
   /// whichever comes first.  `stop` is evaluated before each event.
-  /// Returns the number of events dispatched.
+  /// Returns the number of events dispatched — counted off `step()`'s
+  /// return value, so a dispatch that doesn't happen isn't counted.
   template <typename Pred>
   std::size_t run_while_pending(Pred&& stop) {
     std::size_t n = 0;
-    while (!events_.empty() && !stop()) {
-      step();
+    while (pending() && !stop()) {
+      if (!step()) break;
       ++n;
     }
     return n;
   }
 
  private:
-  using Key = std::pair<SimTime, std::uint64_t>;
-  std::map<Key, EventFn> events_;
+  EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+  BytesPool bytes_pool_;
   obs::Registry obs_{&now_};
   obs::Tracer tracer_{&now_};
   obs::Counter* events_counter_ = &obs_.counter("engine.events");
+  obs::Gauge* pending_gauge_ = &obs_.gauge("engine.pending");
+  obs::Gauge* ring_gauge_ = &obs_.gauge("engine.ring");
+  obs::Gauge* overflow_gauge_ = &obs_.gauge("engine.overflow");
+  obs::Gauge* buckets_gauge_ = &obs_.gauge("engine.buckets");
 };
 
 }  // namespace padico::core

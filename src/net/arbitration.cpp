@@ -21,7 +21,7 @@ void Arbitration::set_policy(int sys_weight, int mad_weight) {
   credit_ = weight_[cur_];  // fresh turn under the new policy
 }
 
-void Arbitration::enqueue(Substrate s, std::function<void()> fn) {
+void Arbitration::enqueue(Substrate s, core::EventFn fn) {
   queue_[static_cast<int>(s)].push_back(std::move(fn));
   if (!pumping_) {
     pumping_ = true;
@@ -51,7 +51,7 @@ void Arbitration::pump() {
     return;
   }
   if (credit_ <= 0) credit_ = weight_[cur_];  // other side idle: renew
-  std::function<void()> fn = std::move(queue_[cur_].front());
+  core::EventFn fn = std::move(queue_[cur_].front());
   queue_[cur_].pop_front();
   --credit_;
   ++dispatched_[cur_];

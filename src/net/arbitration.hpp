@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "core/engine.hpp"
 
@@ -55,8 +54,9 @@ class Arbitration {
   core::Duration dispatch_cost() const noexcept { return dispatch_cost_; }
   core::Duration switch_cost() const noexcept { return switch_cost_; }
 
-  /// Queue one event for dispatch under the policy.
-  void enqueue(Substrate s, std::function<void()> fn);
+  /// Queue one event for dispatch under the policy.  `core::EventFn`
+  /// carries the closure inline (no allocation per queued frame).
+  void enqueue(Substrate s, core::EventFn fn);
 
   std::uint64_t dispatched(Substrate s) const noexcept {
     return dispatched_[static_cast<int>(s)];
@@ -69,7 +69,7 @@ class Arbitration {
   void pump();
 
   core::Engine* engine_;
-  std::deque<std::function<void()>> queue_[2];
+  std::deque<core::EventFn> queue_[2];
   int weight_[2] = {1, 1};
   core::Duration dispatch_cost_ = core::nanoseconds(40);
   core::Duration switch_cost_ = core::nanoseconds(500);

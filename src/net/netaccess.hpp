@@ -32,12 +32,12 @@ class NetAccess {
   Arbitration& arbitration() noexcept { return arbitration_; }
 
   /// Post a SAN-side (MadIO) event for arbitrated dispatch.
-  void post_mad(std::function<void()> fn) {
+  void post_mad(core::EventFn fn) {
     arbitration_.enqueue(Substrate::mad, std::move(fn));
   }
 
   /// Post an IP-side (SysIO) event for arbitrated dispatch.
-  void post_sys(std::function<void()> fn) {
+  void post_sys(core::EventFn fn) {
     arbitration_.enqueue(Substrate::sys, std::move(fn));
   }
 

@@ -428,21 +428,21 @@ void Scenario::apply_churn(const ChurnEvent& ev) {
 // Virtual CPU
 // ---------------------------------------------------------------------------
 
-middleware::CostClock& Scenario::clock_for(core::NodeId node) {
-  auto it = clocks_.find(node);
-  if (it == clocks_.end()) {
-    it = clocks_.try_emplace(node, grid_.engine()).first;
-  }
-  return it->second;
+core::SimTime Scenario::cpu_reserve(core::NodeId node, core::Duration cost) {
+  if (node >= cpu_free_.size()) cpu_free_.resize(node + 1, 0);
+  core::SimTime& free_at = cpu_free_[node];
+  const core::SimTime start = std::max(grid_.engine().now(), free_at);
+  free_at = start + cost;
+  return free_at;
 }
 
 void Scenario::after_cpu(core::NodeId node, core::Duration cost,
-                         std::function<void()> fn) {
+                         core::EventFn fn) {
   if (cost == 0) {
     fn();
     return;
   }
-  grid_.engine().schedule_at(clock_for(node).reserve(cost), std::move(fn));
+  grid_.engine().schedule_at(cpu_reserve(node, cost), std::move(fn));
 }
 
 // ---------------------------------------------------------------------------
@@ -466,9 +466,13 @@ Report Scenario::run() {
   // Sweep: sessions still tracked hung on churn or loss (their reply
   // will never come) — they count failed, keeping the invariant
   // opened == closed + failed.
+  std::vector<std::uint64_t> hung;
   for (auto& [id, s] : sessions_) {
-    if (s.counted) continue;
-    s.counted = true;
+    if (!s.counted) hung.push_back(id);
+  }
+  std::sort(hung.begin(), hung.end());  // digest folds ids in id order
+  for (std::uint64_t id : hung) {
+    sessions_.find(id)->second.counted = true;
     ++failed_;
     obs_failed_->add();
     fold(0x5eull);

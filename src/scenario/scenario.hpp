@@ -25,9 +25,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/bytes.hpp"
@@ -125,9 +125,10 @@ class Scenario {
 
   /// Run `fn` once `cost` of `node`'s serialized virtual CPU has been
   /// reserved (immediately when cost == 0).
-  void after_cpu(core::NodeId node, core::Duration cost,
-                 std::function<void()> fn);
-  middleware::CostClock& clock_for(core::NodeId node);
+  void after_cpu(core::NodeId node, core::Duration cost, core::EventFn fn);
+  /// Reserve `cost` of CPU on `node` (monotone per node); returns the
+  /// completion instant.  Same semantics as middleware::CostClock.
+  core::SimTime cpu_reserve(core::NodeId node, core::Duration cost);
 
   void fold(std::uint64_t v) noexcept;
 
@@ -155,13 +156,19 @@ class Scenario {
   std::uint32_t envelope_ = 0;
   std::uint32_t request_wire_ = 0;
   std::uint32_t reply_wire_ = 0;
-  std::map<core::NodeId, middleware::CostClock> clocks_;
+  // Per-node CPU availability, indexed by node id (dense, grown on
+  // demand) — replaces a std::map of CostClocks on the hottest
+  // scenario path (every request/reply charges CPU).
+  std::vector<core::SimTime> cpu_free_;
   core::Bytes request_scratch_;
   core::Bytes reply_scratch_;
 
   // Live workload state.
-  std::map<std::uint64_t, Session> sessions_;
-  std::map<std::uint64_t, ServerConn> conns_;
+  // Hash maps: lookup dominates (one find per protocol step).  The
+  // only iteration is run()'s final failure sweep, which sorts ids
+  // first so the digest stays identical to the ordered-map original.
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::unordered_map<std::uint64_t, ServerConn> conns_;
   std::uint64_t conn_seq_ = 0;
   std::uint64_t opened_ = 0;
   std::uint64_t closed_ = 0;

@@ -16,17 +16,36 @@ Network::Network(core::Engine& engine, LinkModel model, std::uint64_t seed)
   trace_name_ = engine.tracer().intern(prefix);
 }
 
-void Network::attach(core::NodeId node) { endpoints_.try_emplace(node); }
+void Network::attach(core::NodeId node) {
+  if (endpoints_.empty()) {
+    base_ = node;
+  } else if (node < base_) {
+    // Rare (live churn can join a node below the medium's first id);
+    // grow the vector downwards once.
+    endpoints_.insert(endpoints_.begin(), base_ - node, Endpoint{});
+    base_ = node;
+  }
+  if (node - base_ >= endpoints_.size()) {
+    endpoints_.resize(node - base_ + 1);
+  }
+  Endpoint& e = endpoints_[node - base_];
+  if (!e.attached) {
+    e = Endpoint{};  // fresh slot, like a new map entry used to be
+    e.attached = true;
+  }
+}
 
-void Network::detach(core::NodeId node) { endpoints_.erase(node); }
+void Network::detach(core::NodeId node) {
+  if (node < base_ || node - base_ >= endpoints_.size()) return;
+  endpoints_[node - base_] = Endpoint{};  // drops the recv closure too
+}
 
 bool Network::attached(core::NodeId node) const {
-  return endpoints_.count(node) != 0;
+  return endpoint(node) != nullptr;
 }
 
 void Network::set_receiver(core::NodeId node, RecvFn fn) {
-  auto it = endpoints_.find(node);
-  if (it != endpoints_.end()) it->second.recv = std::move(fn);
+  if (Endpoint* e = endpoint(node)) e->recv = std::move(fn);
 }
 
 std::size_t Network::frames_for(std::size_t bytes) const {
@@ -49,18 +68,16 @@ core::Result<core::SimTime> Network::send(core::NodeId src, core::NodeId dst,
     return core::Result<core::SimTime>::err(core::Status::unreachable,
                                             model_.name + ": link down");
   }
-  auto sit = endpoints_.find(src);
-  auto dit = endpoints_.find(dst);
-  if (sit == endpoints_.end() || dit == endpoints_.end()) {
+  Endpoint* sep = endpoint(src);
+  if (sep == nullptr || endpoint(dst) == nullptr) {
     return core::Result<core::SimTime>::err(
         core::Status::unreachable,
         model_.name + ": node not attached to network");
   }
 
-  const core::SimTime start =
-      std::max(engine_->now(), sit->second.tx_busy_until);
+  const core::SimTime start = std::max(engine_->now(), sep->tx_busy_until);
   const core::Duration tx = tx_time(payload.size());
-  sit->second.tx_busy_until = start + tx;
+  sep->tx_busy_until = start + tx;
   const core::SimTime arrival = start + tx + model_.latency;
 
   ++messages_sent_;
@@ -98,9 +115,9 @@ core::Result<core::SimTime> Network::send(core::NodeId src, core::NodeId dst,
 
   engine_->schedule_at(
       arrival, [this, src, dst, payload = std::move(payload)]() mutable {
-        auto it = endpoints_.find(dst);
-        if (it != endpoints_.end() && it->second.recv) {
-          it->second.recv(src, std::move(payload));
+        Endpoint* e = endpoint(dst);
+        if (e != nullptr && e->recv) {
+          e->recv(src, std::move(payload));
         } else {
           ++messages_dropped_;
           obs_dropped_->add();
@@ -110,10 +127,10 @@ core::Result<core::SimTime> Network::send(core::NodeId src, core::NodeId dst,
 }
 
 core::Duration Network::tx_backlog(core::NodeId node) const {
-  auto it = endpoints_.find(node);
-  if (it == endpoints_.end()) return 0;
+  const Endpoint* e = endpoint(node);
+  if (e == nullptr) return 0;
   const core::SimTime now = engine_->now();
-  return it->second.tx_busy_until > now ? it->second.tx_busy_until - now : 0;
+  return e->tx_busy_until > now ? e->tx_busy_until - now : 0;
 }
 
 NetId Fabric::add_network(const LinkModel& model) {

@@ -109,13 +109,29 @@ class Network {
   struct Endpoint {
     RecvFn recv;
     core::SimTime tx_busy_until = 0;
+    bool attached = false;
   };
+
+  /// Endpoint slot for `node`, or nullptr when not attached.  Node ids
+  /// on one medium are dense (clusters are built with consecutive
+  /// ids), so the map became a direct-indexed vector offset by the
+  /// smallest attached id — every send does two O(1) loads where it
+  /// did two tree walks.
+  Endpoint* endpoint(core::NodeId node) noexcept {
+    if (node < base_ || node - base_ >= endpoints_.size()) return nullptr;
+    Endpoint& e = endpoints_[node - base_];
+    return e.attached ? &e : nullptr;
+  }
+  const Endpoint* endpoint(core::NodeId node) const noexcept {
+    return const_cast<Network*>(this)->endpoint(node);
+  }
 
   core::Engine* engine_;
   LinkModel model_;
   core::Rng rng_;
   bool up_ = true;
-  std::map<core::NodeId, Endpoint> endpoints_;
+  std::vector<Endpoint> endpoints_;
+  core::NodeId base_ = 0;  // id of endpoints_[0]
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;

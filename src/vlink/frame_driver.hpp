@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 
 #include "core/host.hpp"
 #include "vlink/driver.hpp"
@@ -62,8 +63,11 @@ class FrameDriver : public Driver {
 
   core::Host* host_;
   std::map<core::Port, AcceptFn> listeners_;
-  std::map<std::uint64_t, FrameLink*> links_;
-  std::map<std::uint64_t, ConnectFn> connecting_;
+  // Per-frame lookups (every data frame probes links_) — hash maps,
+  // not trees.  Nothing event-ordering-dependent ever iterates them:
+  // only the destructor walks links_, to detach.
+  std::unordered_map<std::uint64_t, FrameLink*> links_;
+  std::unordered_map<std::uint64_t, ConnectFn> connecting_;
   std::uint64_t next_conn_ = 1;
   std::uint64_t malformed_ = 0;
   core::Port next_ephemeral_ = 49152;

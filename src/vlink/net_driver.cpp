@@ -28,7 +28,11 @@ core::Duration NetDriver::stream_time(std::size_t bytes) const {
 
 void NetDriver::emit(core::NodeId dst, const wire::Header& h,
                      core::ByteView payload) {
-  core::Bytes frame = wire::encode(h, payload);
+  // Frames come out of the engine's recycled-buffer pool; the
+  // receiving side's on_message() releases them after handling, so
+  // steady-state frame traffic allocates nothing.
+  core::Bytes frame =
+      wire::encode(h, payload, host().engine().bytes_pool());
   if (net_->model().per_stream_bytes_per_second == 0) {
     net_->send(host().id(), dst, std::move(frame));
     return;
@@ -56,16 +60,26 @@ void NetDriver::emit(core::NodeId dst, const wire::Header& h,
 }
 
 void NetDriver::on_connection_closed(std::uint64_t conn_id) {
+  // Pacing buckets only exist on per-stream-capped profiles; the
+  // common teardown must not pay a tree probe for an empty map.
+  if (stream_busy_.empty()) return;
   stream_busy_.erase(conn_id);
 }
 
 void NetDriver::on_message(core::NodeId src, core::Bytes msg) {
+  // The frame buffer goes back to the pool that built it (emit());
+  // handle_frame fully consumes the view — links and adapters copy
+  // payloads into their own buffers.  The pool lives on the engine,
+  // which outlives any callback the frame can trigger.
+  core::BytesPool& pool = host().engine().bytes_pool();
   if (!dispatch_) {
     handle_frame(src, core::view_of(msg));
+    pool.release(std::move(msg));
     return;
   }
-  dispatch_([this, src, m = std::move(msg)] {
+  dispatch_([this, src, &pool, m = std::move(msg)]() mutable {
     handle_frame(src, core::view_of(m));
+    pool.release(std::move(m));
   });
 }
 

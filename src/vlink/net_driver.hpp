@@ -22,7 +22,7 @@
 #pragma once
 
 #include <functional>
-#include <map>
+#include <unordered_map>
 
 #include "simnet/network.hpp"
 #include "vlink/frame_driver.hpp"
@@ -39,7 +39,7 @@ class NetDriver final : public FrameDriver {
 
   /// Route each received frame through `fn` instead of handling it
   /// inline.  `fn` must eventually invoke the thunk it is given.
-  using DispatchFn = std::function<void(std::function<void()>)>;
+  using DispatchFn = std::function<void(core::EventFn)>;
   void set_dispatch(DispatchFn fn) { dispatch_ = std::move(fn); }
 
   bool reaches(core::NodeId node) const override;
@@ -65,7 +65,7 @@ class NetDriver final : public FrameDriver {
   // Per-connection pacing horizon; only populated on profiles with a
   // per-stream cap.  Refused connects can strand an entry until the
   // driver dies — one pair of words each, accepted.
-  std::map<std::uint64_t, core::SimTime> stream_busy_;
+  std::unordered_map<std::uint64_t, core::SimTime> stream_busy_;
 };
 
 }  // namespace padico::vlink

@@ -79,6 +79,21 @@ inline core::Bytes encode(const Header& h, core::ByteView payload = {}) {
   return frame;
 }
 
+/// Build a full frame in a recycled buffer from `pool` — the
+/// allocation-free fast path for frame-sized messages.  The receiving
+/// driver releases the buffer back to the pool once the frame is
+/// handled (acquire/release pair across the simulated wire; both ends
+/// share the engine's pool).
+inline core::Bytes encode(const Header& h, core::ByteView payload,
+                          core::BytesPool& pool) {
+  core::Bytes frame = pool.acquire(kHeaderSize + payload.size());
+  encode_into(h, frame.data());
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  return frame;
+}
+
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif

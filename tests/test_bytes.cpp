@@ -72,3 +72,69 @@ TEST(IoVec, OwnedSegmentSurvivesSourceDestruction) {
   }  // source gone; the IoVec owns the segment
   EXPECT_EQ(v.flatten(), (pc::Bytes{5, 6, 7}));
 }
+
+TEST(IoVec, PrependPutsHeaderFirstWithoutShiftingSegments) {
+  pc::IoVec v;
+  v.append(pc::Bytes{3, 4});
+  v.append_ref(pc::view_of("xy"));
+  v.prepend(pc::Bytes{1, 2});  // flush-time header lands in front
+
+  EXPECT_EQ(v.segments(), 3u);
+  EXPECT_EQ(v.view(0)[0], 1);
+  EXPECT_EQ(v.flatten(), (pc::Bytes{1, 2, 3, 4, 'x', 'y'}));
+}
+
+TEST(IoVec, SecondPrependDemotesTheOldFront) {
+  pc::IoVec v;
+  v.append(pc::Bytes{9});
+  v.prepend(pc::Bytes{5});     // inner-layer header
+  v.prepend(pc::Bytes{1, 2});  // outer-layer header wraps it
+
+  EXPECT_EQ(v.segments(), 3u);
+  EXPECT_EQ(v.flatten(), (pc::Bytes{1, 2, 5, 9}));
+}
+
+TEST(BytesPool, RecyclesReleasedCapacity) {
+  pc::BytesPool pool;
+  pc::Bytes b = pool.acquire(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(pool.misses(), 1u);  // nothing to recycle yet
+
+  const std::uint8_t* data = b.data();
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  pc::Bytes again = pool.acquire(64);  // smaller fits the same storage
+  EXPECT_EQ(again.size(), 64u);
+  EXPECT_EQ(again.data(), data);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BytesPool, OversizedBuffersAreNeverHoarded) {
+  pc::BytesPool pool;
+  pc::Bytes big(pc::BytesPool::kMaxPooledCapacity + 1);
+  pool.release(std::move(big));
+  EXPECT_EQ(pool.pooled(), 0u);
+
+  pc::Bytes huge = pool.acquire(pc::BytesPool::kMaxPooledCapacity + 1);
+  EXPECT_EQ(huge.size(), pc::BytesPool::kMaxPooledCapacity + 1);
+}
+
+TEST(BytesPool, DisabledPoolDegeneratesToPlainAllocation) {
+  pc::BytesPool pool;
+  pool.set_enabled(false);
+  pool.release(pc::Bytes(32));
+  EXPECT_EQ(pool.pooled(), 0u);  // releases are dropped
+  pc::Bytes b = pool.acquire(32);
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(BytesPool, FreeListIsBounded) {
+  pc::BytesPool pool;
+  for (std::size_t i = 0; i < pc::BytesPool::kMaxFree + 10; ++i) {
+    pool.release(pc::Bytes(8));
+  }
+  EXPECT_EQ(pool.pooled(), pc::BytesPool::kMaxFree);
+}

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -97,4 +100,50 @@ TEST(Engine, DeterministicTraceAcrossRuns) {
     return trace;
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, QueueGaugesTrackShape) {
+  pc::QueueConfig cfg;
+  cfg.ring_ticks = 1024;
+  pc::Engine e(cfg);
+  e.schedule_at(10, [] {});     // ring
+  e.schedule_at(10, [] {});     // same bucket
+  e.schedule_at(50'000, [] {});  // beyond the window: overflow heap
+
+  EXPECT_EQ(e.pending_count(), 3u);
+  EXPECT_EQ(e.obs().gauge("engine.pending").value(), 3);
+  e.publish_queue_gauges();
+  EXPECT_EQ(e.obs().gauge("engine.ring").value(), 2);
+  EXPECT_EQ(e.obs().gauge("engine.overflow").value(), 1);
+  EXPECT_EQ(e.obs().gauge("engine.buckets").value(), 1);
+
+  e.run_until_idle();
+  e.publish_queue_gauges();
+  EXPECT_EQ(e.obs().gauge("engine.ring").value(), 0);
+  EXPECT_EQ(e.obs().gauge("engine.overflow").value(), 0);
+  EXPECT_EQ(e.obs().gauge("engine.buckets").value(), 0);
+}
+
+TEST(Engine, LargeClosuresTakeTheHeapFallback) {
+  // InplaceFn inlines up to 48 bytes; anything bigger must still work
+  // (one heap allocation, like std::function's big-capture path).
+  pc::Engine e;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes of capture
+  big[0] = 7;
+  big[15] = 9;
+  std::uint64_t sum = 0;
+  e.schedule_at(1, [big, &sum] { sum = big[0] + big[15]; });
+  e.run_until_idle();
+  EXPECT_EQ(sum, 16u);
+}
+
+TEST(Engine, LvalueCallablesAreCopiedIn) {
+  pc::Engine e;
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  e.schedule_at(1, fn);  // copy
+  e.schedule_at(2, fn);  // copy again; fn stays usable
+  e.run_until_idle();
+  fn();
+  EXPECT_EQ(hits, 3);
 }

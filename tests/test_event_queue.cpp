@@ -1,0 +1,236 @@
+// EventQueue ordering invariants: the calendar queue must dispatch in
+// exactly the old `std::map<(t, seq), fn>` order — strictly
+// non-decreasing time, FIFO within an instant, past timestamps clamped
+// to now — under every configuration (default ring, 1-bucket
+// degenerate, tiny ring, and the kept map reference mode).
+//
+// The oracle is a miniature map-engine reimplemented here from the
+// seed's semantics (not from the code under test), driven by the same
+// seeded generator.  Plus a recorded-digest constant: the 1k-node
+// scenario must reproduce the digest recorded before the queue swap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/event_queue.hpp"
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/spec.hpp"
+
+namespace pc = padico::core;
+namespace sc = padico::scenario;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Oracle: the seed engine's queue semantics in ~20 lines
+// ---------------------------------------------------------------------------
+
+class MapOracle {
+ public:
+  pc::SimTime now() const { return now_; }
+
+  void schedule_at(pc::SimTime t, std::function<void()> fn) {
+    if (t < now_) t = now_;  // past clamps to now
+    q_.emplace(std::pair{t, seq_++}, std::move(fn));
+  }
+
+  void run_until_idle() {
+    while (!q_.empty()) {
+      auto node = q_.extract(q_.begin());
+      now_ = node.key().first;
+      node.mapped()();
+    }
+  }
+
+ private:
+  std::map<std::pair<pc::SimTime, std::uint64_t>, std::function<void()>> q_;
+  pc::SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Generator: a random schedule-churn program, identical per seed
+// ---------------------------------------------------------------------------
+
+/// Drive `eng` through `total` events: every dispatched event records
+/// its id and schedules 0–2 children at random offsets — far future
+/// (past any ring window), near future, the same instant, and the
+/// PAST (negative offsets, which must clamp).  All decisions come off
+/// one seeded Rng, so two engines with identical dispatch order see
+/// identical programs; any ordering divergence derails the comparison
+/// visibly.
+template <typename EngineT>
+std::vector<std::uint32_t> run_program(EngineT& eng, std::uint32_t total,
+                                       std::uint64_t seed) {
+  std::vector<std::uint32_t> order;
+  order.reserve(total);
+  pc::Rng rng(seed);
+  std::uint32_t next_id = 0;
+  std::uint32_t budget = total;
+
+  std::function<void(std::uint32_t)> fire = [&](std::uint32_t id) {
+    order.push_back(id);
+    // 1–2 children keeps the branching process supercritical, so the
+    // whole budget is consumed instead of the population dying out.
+    const int children = 1 + static_cast<int>(rng.uniform_int(0, 1));
+    for (int c = 0; c < children && budget > 0; ++c) {
+      --budget;
+      const std::uint64_t kind = rng.uniform_int(0, 3);
+      const pc::SimTime now = eng.now();
+      pc::SimTime t = now;
+      switch (kind) {
+        case 0:  // same instant (FIFO with everything queued at now)
+          break;
+        case 1:  // near future, inside any ring window
+          t = now + 1 + rng.uniform_int(0, 4000);
+          break;
+        case 2:  // far future, beyond the default 131072-tick window
+          t = now + 200'000 + rng.uniform_int(0, 2'000'000);
+          break;
+        default:  // the past — must clamp to now
+          t = now - std::min<pc::SimTime>(now, rng.uniform_int(1, 10'000));
+          break;
+      }
+      const std::uint32_t id2 = next_id++;
+      eng.schedule_at(t, [&fire, id2] { fire(id2); });
+    }
+  };
+
+  // Seed the program with a spread of roots so several buckets and the
+  // far heap are populated before the first dispatch.
+  for (int r = 0; r < 64 && budget > 0; ++r) {
+    --budget;
+    const std::uint32_t id = next_id++;
+    eng.schedule_at(rng.uniform_int(0, 500'000),
+                    [&fire, id] { fire(id); });
+  }
+  eng.run_until_idle();
+  return order;
+}
+
+std::vector<std::uint32_t> run_config(const pc::QueueConfig& cfg,
+                                      std::uint32_t total,
+                                      std::uint64_t seed) {
+  pc::Engine eng(cfg);
+  return run_program(eng, total, seed);
+}
+
+}  // namespace
+
+TEST(EventQueueOrdering, HundredThousandRandomEventsMatchMapSemantics) {
+  constexpr std::uint32_t kTotal = 100'000;
+  constexpr std::uint64_t kSeed = 0x0bd5'ca1e'0000'0001ull;
+
+  MapOracle oracle;
+  const std::vector<std::uint32_t> expect =
+      run_program(oracle, kTotal, kSeed);
+  ASSERT_EQ(expect.size(), kTotal);
+
+  pc::QueueConfig cfg;  // default calendar configuration
+  EXPECT_EQ(run_config(cfg, kTotal, kSeed), expect);
+
+  cfg.ring_ticks = 1;  // degenerate: everything via the overflow heap
+  EXPECT_EQ(run_config(cfg, kTotal, kSeed), expect);
+
+  cfg.ring_ticks = 64;  // tiny window: constant ring<->heap migration
+  EXPECT_EQ(run_config(cfg, kTotal, kSeed), expect);
+
+  cfg = pc::QueueConfig{};
+  cfg.mode = pc::QueueConfig::Mode::map;  // the kept reference mode
+  EXPECT_EQ(run_config(cfg, kTotal, kSeed), expect);
+}
+
+TEST(EventQueueOrdering, QueueShapeAccountingStaysConsistent) {
+  pc::QueueConfig cfg;
+  cfg.ring_ticks = 1024;
+  pc::EventQueue q(cfg);
+  // Ring entry, far entries, and a same-tick far/near split.
+  q.push(10, 0, [] {});
+  q.push(5'000, 1, [] {});
+  q.push(5'000, 2, [] {});
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.ring_size(), 1u);
+  EXPECT_EQ(q.overflow_size(), 2u);
+  EXPECT_EQ(q.occupied_buckets(), 1u);
+
+  pc::SimTime t = 0;
+  pc::EventFn fn;
+  ASSERT_TRUE(q.pop(t, fn));
+  EXPECT_EQ(t, 10u);
+  // Popping slid the window past 5'000: both far entries migrated.
+  ASSERT_TRUE(q.pop(t, fn));
+  EXPECT_EQ(t, 5'000u);
+  ASSERT_TRUE(q.pop(t, fn));
+  EXPECT_EQ(t, 5'000u);
+  EXPECT_FALSE(q.pop(t, fn));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.occupied_buckets(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Recorded digest: the queue swap may not move a single event
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// 32x32 = 1024 nodes, 6k bursty sessions, all five churn kinds.  The
+/// constants below were recorded on the std::map engine BEFORE the
+/// calendar-queue refactor; every queue configuration must still
+/// reproduce them exactly.
+sc::ScenarioSpec thousand_node_spec() {
+  sc::ScenarioSpec spec = sc::small_world(32, 32, 6'000, 2'000'000.0, 17);
+  spec.workload.burst_depth = 0.5;
+  spec.workload.burst_period = pc::milliseconds(1);
+  spec.churn.push_back({sc::ChurnKind::node_join, pc::microseconds(500),
+                        1, 0, 0.0});
+  spec.churn.push_back({sc::ChurnKind::node_leave, pc::microseconds(900),
+                        2, 0, 0.0});
+  spec.churn.push_back({sc::ChurnKind::link_flap, pc::microseconds(1300),
+                        3, pc::microseconds(400), 0.0});
+  spec.churn.push_back({sc::ChurnKind::loss_burst, pc::microseconds(1700),
+                        4, pc::microseconds(400), 0.5});
+  spec.churn.push_back({sc::ChurnKind::wan_brownout, pc::microseconds(2100),
+                        0, pc::milliseconds(1), 0.1});
+  return spec;
+}
+
+constexpr char kRecordedDigest[] = "1cee436ecc42dee3";
+constexpr std::uint64_t kRecordedEvents = 90'928;
+constexpr std::uint64_t kRecordedDuration = 54'906'210;
+
+sc::Report run_thousand(const pc::QueueConfig& cfg) {
+  pc::ScopedQueueConfig scoped(cfg);
+  sc::Scenario s(thousand_node_spec());
+  return s.run();
+}
+
+}  // namespace
+
+TEST(EventQueueDigest, ThousandNodeScenarioMatchesPreRefactorRecording) {
+  const sc::Report r = run_thousand(pc::QueueConfig{});
+  EXPECT_EQ(r.digest, kRecordedDigest);
+  EXPECT_EQ(r.events, kRecordedEvents);
+  EXPECT_EQ(r.duration, kRecordedDuration);
+}
+
+TEST(EventQueueDigest, DegenerateAndMapConfigsReproduceTheSameRecording) {
+  pc::QueueConfig one_bucket;
+  one_bucket.ring_ticks = 1;
+  const sc::Report degenerate = run_thousand(one_bucket);
+  EXPECT_EQ(degenerate.digest, kRecordedDigest);
+  EXPECT_EQ(degenerate.events, kRecordedEvents);
+
+  pc::QueueConfig map_mode;
+  map_mode.mode = pc::QueueConfig::Mode::map;
+  const sc::Report reference = run_thousand(map_mode);
+  EXPECT_EQ(reference.digest, kRecordedDigest);
+  EXPECT_EQ(reference.events, kRecordedEvents);
+  EXPECT_EQ(reference.duration, kRecordedDuration);
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Append a bench run's means to the recorded perf trajectory.
+
+    bench_history.py --dir bench-out \
+                     [--history bench/history/BENCH_history.jsonl] \
+                     [--commit SHA] [--label note]
+
+Reads every BENCH_*.json in --dir (the files bench::Session emits) and
+appends ONE JSONL record holding all their means:
+
+    {"ts": "...", "commit": "...", "label": "...",
+     "benches": {"engine": {"dispatch.speedup_vs_map": 3.7, ...}, ...}}
+
+The committed bench/history/BENCH_history.jsonl grows one record per
+baseline refresh, so BENCH_*.json deltas form a curve, not a point:
+`git log` says when a number moved, the history says through what.  The
+CI bench job also appends its own run and uploads the result as an
+artifact — the committed file only advances when a PR refreshes
+baselines, keeping it merge-friendly.
+"""
+
+import argparse
+import datetime
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def git_head():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--dir", required=True,
+                    help="directory of freshly emitted BENCH_*.json files")
+    ap.add_argument("--history",
+                    default="bench/history/BENCH_history.jsonl",
+                    help="JSONL trajectory to append to")
+    ap.add_argument("--commit", default=None,
+                    help="commit id to record (default: git HEAD)")
+    ap.add_argument("--label", default="",
+                    help="free-form note, e.g. 'PR-9 baseline refresh'")
+    args = ap.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    if not paths:
+        sys.exit(f"error: no BENCH_*.json files in {args.dir}")
+
+    benches = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") != 1 or "metrics" not in doc:
+            sys.exit(f"error: {path}: not a schema-1 bench report")
+        name = doc.get("bench",
+                       os.path.basename(path)[len("BENCH_"):-len(".json")])
+        benches[name] = {m: v["mean"] for m, v in
+                         sorted(doc["metrics"].items())}
+
+    record = {
+        "ts": datetime.datetime.now(datetime.timezone.utc)
+              .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "commit": args.commit or git_head(),
+        "label": args.label,
+        "benches": benches,
+    }
+    os.makedirs(os.path.dirname(args.history), exist_ok=True)
+    with open(args.history, "a") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended {sum(len(b) for b in benches.values())} means "
+          f"from {len(benches)} bench(es) to {args.history}")
+
+
+if __name__ == "__main__":
+    main()

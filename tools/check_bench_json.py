@@ -11,6 +11,19 @@ Baseline mode (default):
   relative tolerance band.  Metrics present only in the new results are
   reported but don't fail (they become baseline on the next refresh).
 
+  Each baseline metric may carry a "gate" field choosing how it is
+  compared (the freshly emitted files never carry gates — policy lives
+  in the checked-in baseline):
+
+    "band" (default) — mean must stay within ±tolerance of baseline.
+        Right for deterministic virtual-time figures, which reproduce
+        exactly.
+    "min" — mean must be >= the metric's "min" field (falls back to
+        the baseline mean).  Right for in-process speedup ratios,
+        which are machine-portable but improve over time.
+    "info" — recorded and printed, never gated.  Right for wall-clock
+        absolutes, which depend on the machine running the job.
+
 Trace mode:
 
     check_bench_json.py --trace trace.json \
@@ -45,15 +58,33 @@ def check_bench(baseline_path, got_path, tolerance):
     base_metrics = baseline["metrics"]
     got_metrics = got["metrics"]
     failures = []
+    gated = 0
     for name, base in sorted(base_metrics.items()):
         if name not in got_metrics:
             failures.append(f"{name}: missing from {got_path}")
             continue
         b, g = base["mean"], got_metrics[name]["mean"]
+        gate = base.get("gate", "band")
+        rel = (g - b) / b * 100 if b else float("inf")
+        if gate == "info":
+            print(f"info {name}: baseline {b:g}, got {g:g} ({rel:+.2f}%)")
+            continue
+        gated += 1
+        if gate == "min":
+            floor = base.get("min", b)
+            status = "ok" if g >= floor else "FAIL"
+            print(f"{status:4} {name}: floor {floor:g}, got {g:g} "
+                  f"(baseline {b:g})")
+            if status == "FAIL":
+                failures.append(f"{name}: {g:g} below required minimum "
+                                f"{floor:g}")
+            continue
+        if gate != "band":
+            sys.exit(f"error: {baseline_path}: {name}: unknown gate "
+                     f"{gate!r} (want band, min or info)")
         band = tolerance * max(abs(b), 1e-12)
         drift = g - b
         status = "ok" if abs(drift) <= band else "FAIL"
-        rel = drift / b * 100 if b else float("inf")
         print(f"{status:4} {name}: baseline {b:g}, got {g:g} ({rel:+.2f}%)")
         if status == "FAIL":
             failures.append(f"{name}: {b:g} -> {g:g} ({rel:+.2f}%, "
@@ -67,8 +98,7 @@ def check_bench(baseline_path, got_path, tolerance):
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nall {len(base_metrics)} baseline metrics within "
-          f"±{tolerance * 100:g}% of {baseline_path}")
+    print(f"\nall {gated} gated baseline metrics pass vs {baseline_path}")
     return 0
 
 
