@@ -1,0 +1,10 @@
+#include "core/fastpath.hpp"
+
+namespace padico::core {
+
+FastPathConfig& default_fastpath_config() noexcept {
+  static FastPathConfig cfg;
+  return cfg;
+}
+
+}  // namespace padico::core

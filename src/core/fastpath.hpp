@@ -1,0 +1,60 @@
+// Session-open fast-lane configuration.
+//
+// PR 9 kept the seed's std::map event queue alive as a config-selected
+// reference mode that bench_engine races in-process; this is the same
+// pattern one layer up.  Three independently-gated fast paths:
+//
+//   * selector_cache — the Chooser's per-destination decision cache
+//     (hash map + targeted churn invalidation).  Off: every classify /
+//     choose / select recomputes the ranking from the driver registry,
+//     the pre-cache behaviour.
+//   * fast_open — FrameDriver's lean connect handshake: a per-driver
+//     connection-intent table remembers (dst, port) pairs that
+//     accepted before, so revisited connects skip the reaches()
+//     precheck, and the connect demux short-circuits through a
+//     most-recently-used listener slot instead of re-probing the port
+//     map.  Wall-clock only: the wire still carries the same one-RTT
+//     connect/accept exchange at the same virtual instants.
+//   * inline_vio — the scenario client drives its VIO request/reply
+//     loop with inline callbacks (no coroutine frame, no per-await
+//     Completion allocation).  Off: the same state machine runs as a
+//     per-session coroutine — the kept reference path, and the shape
+//     general middleware code takes.
+//
+// All three are digest-neutral by construction: they change host-side
+// work only, never virtual-time behaviour or engine event counts.
+// bench_session_open races the all-on configuration against the
+// all-off reference in one process, cross-checks the scenario digests,
+// and CI gates the speedup; the determinism tests re-run recorded
+// scenarios under both configurations.
+#pragma once
+
+namespace padico::core {
+
+struct FastPathConfig {
+  bool selector_cache = true;
+  bool fast_open = true;
+  bool inline_vio = true;
+};
+
+/// Process-global default, read at construction time by the layers
+/// above (Chooser, FrameDriver, Scenario) — the same pattern as
+/// default_queue_config().
+FastPathConfig& default_fastpath_config() noexcept;
+
+/// RAII: swap the process default, restore on destruction.
+class ScopedFastPathConfig {
+ public:
+  explicit ScopedFastPathConfig(const FastPathConfig& cfg) noexcept
+      : saved_(default_fastpath_config()) {
+    default_fastpath_config() = cfg;
+  }
+  ~ScopedFastPathConfig() { default_fastpath_config() = saved_; }
+  ScopedFastPathConfig(const ScopedFastPathConfig&) = delete;
+  ScopedFastPathConfig& operator=(const ScopedFastPathConfig&) = delete;
+
+ private:
+  FastPathConfig saved_;
+};
+
+}  // namespace padico::core

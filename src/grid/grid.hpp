@@ -267,7 +267,13 @@ class Grid {
   void wire_attachment(simnet::NetId net, core::NodeId node,
                        const Planned& plan);
 
-  void invalidate_choosers();
+  /// Churn hook, fired synchronously by every network's change
+  /// notification: invalidates cached chooser decisions with matching
+  /// precision (a detach drops only decisions towards the detached
+  /// node; an admin/model change drops the decisions of nodes attached
+  /// to that medium).
+  void on_network_change(simnet::NetId net, simnet::Network::Change change,
+                         core::NodeId node);
 
   core::Engine engine_;
   simnet::Fabric fabric_{engine_};

@@ -22,14 +22,16 @@
 // NetAccess dispatch below.  A MadIO borrows its NetAccess and
 // Madeleine (the Grid's SAN stack owns all three, bottom-up) and owns
 // its bootstrap channel (always Madeleine channel 0).  Handlers and
-// per-(tag, node) sequence books live in ordered maps, so tag dispatch
-// order is bit-identical across runs.
+// per-(tag, node) sequence books live in hash maps — dispatch does
+// point lookups only, never iterates them, so bucket order cannot
+// leak into dispatch traces.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "madeleine/madeleine.hpp"
@@ -137,12 +139,14 @@ class MadIO {
   obs::Histogram* obs_depth_;
   obs::Histogram* obs_bytes_;
   std::map<Tag, obs::Gauge*> tag_gauges_;
-  std::map<Tag, Handler> handlers_;
+  // Per-message lookups — hash maps; owners_/tag_gauges_ stay ordered
+  // (cold, touched at claim/registration time only).
+  std::unordered_map<Tag, Handler> handlers_;
   std::map<Tag, std::string> owners_;  // claimed tags (claim_tag)
   // Send keyed (tag, destination), receive keyed (tag, source).
   SeqBook<std::pair<Tag, core::NodeId>> seq_;
   // Combining off: control header seen, payload message still due.
-  std::map<core::NodeId, vlink::wire::Header> pending_;
+  std::unordered_map<core::NodeId, vlink::wire::Header> pending_;
   std::uint64_t dropped_ = 0;
 };
 

@@ -11,14 +11,41 @@
 // one loss is one gap, not a gap per subsequent message).
 //
 // Units / ownership / determinism: pure bookkeeping, no clocks.  Keys
-// live in ordered maps, so iteration-order effects can never creep
-// into dispatch traces.
+// live in hash maps — nothing ever iterates them, only point lookups
+// on the per-message hot path, so bucket order can never leak into
+// dispatch traces.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <functional>
+#include <unordered_map>
+#include <utility>
 
 namespace padico::net {
+
+/// Hash for SeqBook keys: integral keys use std::hash directly; pair
+/// keys mix both halves through a splitmix-style finalizer so (tag,
+/// node) pairs that differ only in the low bits still spread.
+struct SeqKeyHash {
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  template <typename T>
+  std::size_t operator()(const T& k) const noexcept {
+    return std::hash<T>{}(k);
+  }
+
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& k) const noexcept {
+    return static_cast<std::size_t>(
+        mix((static_cast<std::uint64_t>(k.first) << 32) ^
+            static_cast<std::uint64_t>(k.second)));
+  }
+};
 
 template <typename Key>
 class SeqBook {
@@ -43,8 +70,8 @@ class SeqBook {
   std::uint64_t gaps() const noexcept { return gaps_; }
 
  private:
-  std::map<Key, std::uint64_t> next_;
-  std::map<Key, std::uint64_t> recv_;
+  std::unordered_map<Key, std::uint64_t, SeqKeyHash> next_;
+  std::unordered_map<Key, std::uint64_t, SeqKeyHash> recv_;
   std::uint64_t gaps_ = 0;
 };
 

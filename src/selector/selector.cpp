@@ -4,64 +4,99 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/fastpath.hpp"
+
 namespace padico::selector {
 
-const Chooser::Decision& Chooser::decide(core::NodeId dst) {
-  ++lookups_;
-  if (auto it = cache_.find(dst); it != cache_.end()) {
-    ++hits_;
-    return it->second;
-  }
+Chooser::Chooser(vlink::VLink& vlink)
+    : vlink_(&vlink),
+      cache_on_(core::default_fastpath_config().selector_cache) {
+  obs::Registry& reg = vlink.host().engine().obs();
+  obs_hits_ = &reg.counter("selector.cache.hits");
+  obs_misses_ = &reg.counter("selector.cache.misses");
+  obs_evictions_ = &reg.counter("selector.cache.evictions");
+}
 
+void Chooser::invalidate() {
+  if (!cache_.empty()) {
+    evictions_ += cache_.size();
+    obs_evictions_->add(cache_.size());
+    cache_.clear();
+  }
+}
+
+void Chooser::invalidate(core::NodeId dst) {
+  if (cache_.erase(dst) != 0) {
+    ++evictions_;
+    obs_evictions_->add();
+  }
+}
+
+Chooser::Decision Chooser::compute(core::NodeId dst) const {
   Decision d;
   if (dst == vlink_->node()) {
     d.cls = NetClass::loopback;
-  } else {
-    // Tightest class any reaching driver serves; unreachable peers
-    // keep the conservative {wan, nullptr} default.
-    bool reachable = false;
-    for (const auto& drv : vlink_->drivers()) {
-      if (!drv->reaches(dst)) continue;
-      if (!reachable || drv->net_class() < d.cls) d.cls = drv->net_class();
-      reachable = true;
+    return d;
+  }
+  // Tightest class any reaching driver serves; unreachable peers
+  // keep the conservative {wan, nullptr} default.
+  bool reachable = false;
+  for (const auto& drv : vlink_->drivers()) {
+    if (!drv->reaches(dst)) continue;
+    if (!reachable || drv->net_class() < d.cls) d.cls = drv->net_class();
+    reachable = true;
+  }
+  if (!reachable) return d;
+  // WAN override first (the paper's "activate parallel streams"
+  // switch), then the first registered driver whose affinity
+  // matches the destination's class.
+  bool overridden = false;
+  if (d.cls == NetClass::wan && !wan_method_.empty()) {
+    if (vlink::Driver* o = vlink_->driver(wan_method_);
+        o != nullptr && o->reaches(dst)) {
+      d.driver = o;
+      overridden = true;
     }
-    if (reachable) {
-      // WAN override first (the paper's "activate parallel streams"
-      // switch), then the first registered driver whose affinity
-      // matches the destination's class.
-      bool overridden = false;
-      if (d.cls == NetClass::wan && !wan_method_.empty()) {
-        if (vlink::Driver* o = vlink_->driver(wan_method_);
-            o != nullptr && o->reaches(dst)) {
-          d.driver = o;
-          overridden = true;
-        }
-      }
-      if (d.driver == nullptr) {
-        for (const auto& drv : vlink_->drivers()) {
-          if (drv->reaches(dst) && drv->net_class() == d.cls) {
-            d.driver = drv.get();
-            break;
-          }
-        }
-      }
-      // Loss repair beats raw speed: if the pick drops frames, swap in
-      // the first same-class loss-tolerant sibling that reaches the
-      // peer (the grid stacks "vrp" on every lossy profile).  The
-      // explicit wan override above is exempt — pinning a lossy method
-      // is a deliberate ablation choice.
-      if (!overridden && d.driver != nullptr && d.driver->lossy()) {
-        for (const auto& drv : vlink_->drivers()) {
-          if (drv->reaches(dst) && drv->net_class() == d.cls &&
-              drv->has_cap(kCapLossTolerant) && !drv->lossy()) {
-            d.driver = drv.get();
-            break;
-          }
-        }
+  }
+  if (d.driver == nullptr) {
+    for (const auto& drv : vlink_->drivers()) {
+      if (drv->reaches(dst) && drv->net_class() == d.cls) {
+        d.driver = drv.get();
+        break;
       }
     }
   }
-  return cache_.emplace(dst, d).first->second;
+  // Loss repair beats raw speed: if the pick drops frames, swap in
+  // the first same-class loss-tolerant sibling that reaches the
+  // peer (the grid stacks "vrp" on every lossy profile).  The
+  // explicit wan override above is exempt — pinning a lossy method
+  // is a deliberate ablation choice.
+  if (!overridden && d.driver != nullptr && d.driver->lossy()) {
+    for (const auto& drv : vlink_->drivers()) {
+      if (drv->reaches(dst) && drv->net_class() == d.cls &&
+          drv->has_cap(kCapLossTolerant) && !drv->lossy()) {
+        d.driver = drv.get();
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+const Chooser::Decision& Chooser::decide(core::NodeId dst) {
+  ++lookups_;
+  if (!cache_on_) {
+    obs_misses_->add();
+    scratch_ = compute(dst);
+    return scratch_;
+  }
+  if (auto it = cache_.find(dst); it != cache_.end()) {
+    ++hits_;
+    obs_hits_->add();
+    return it->second;
+  }
+  obs_misses_->add();
+  return cache_.emplace(dst, compute(dst)).first->second;
 }
 
 NetClass Chooser::classify(core::NodeId dst) { return decide(dst).cls; }

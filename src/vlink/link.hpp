@@ -57,6 +57,15 @@ class Link {
   /// stack.
   core::Completion<core::Bytes> read_n(std::size_t n);
 
+  /// Await *whatever arrives next*: completes inline with everything
+  /// buffered when bytes are available (exactly read_available()), or
+  /// on the next delivery with that delivery's bytes.  The awaitable
+  /// twin of the read_available()/ready-handler pattern, for coroutine
+  /// consumers of links that may lose or truncate messages.  Shares
+  /// the FIFO with read_n.  Never completes on a bare EOF (check
+  /// eof_seen() like the ready-handler consumers do).
+  core::Completion<core::Bytes> read_some();
+
   /// Bytes buffered and not yet claimed by a read.
   std::size_t available() const noexcept { return rx_buf_.size() - rx_head_; }
 
@@ -109,6 +118,9 @@ class Link {
  private:
   core::Bytes take(std::size_t n);
   void drain();
+
+  /// Sentinel `n` for a read_some request ("any amount").
+  static constexpr std::size_t kAnyBytes = static_cast<std::size_t>(-1);
 
   struct PendingRead {
     std::size_t n;

@@ -1,5 +1,6 @@
 #include "vlink/vlink.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -14,17 +15,21 @@ VLink::~VLink() = default;
 
 void VLink::add_driver(std::unique_ptr<Driver> driver) {
   // Replay sticky listens so a late-registered driver accepts on the
-  // same ports as its older siblings.
-  for (const auto& [port, fn] : listens_) driver->listen(port, fn);
+  // same ports as its older siblings.  Ascending port order, so the
+  // replay sequence is independent of the hash map's bucket layout.
+  std::vector<core::Port> ports;
+  ports.reserve(listens_.size());
+  for (const auto& [port, fn] : listens_) ports.push_back(port);
+  std::sort(ports.begin(), ports.end());
+  for (core::Port port : ports) driver->listen(port, listens_[port]);
+  by_name_.emplace(driver->name(), driver.get());  // first name wins
   drivers_.push_back(std::move(driver));
   policy_->on_drivers_changed();
 }
 
 Driver* VLink::driver(const std::string& method) const {
-  for (const auto& d : drivers_) {
-    if (d->name() == method) return d.get();
-  }
-  return nullptr;
+  auto it = by_name_.find(method);
+  return it == by_name_.end() ? nullptr : it->second;
 }
 
 void VLink::set_policy(SelectionPolicy* policy) {

@@ -13,9 +13,9 @@
 // network that was wired after it started accepting.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/host.hpp"
@@ -94,9 +94,14 @@ class VLink {
  private:
   core::Host* host_;
   std::vector<std::unique_ptr<Driver>> drivers_;
-  // Sticky listens, replayed onto late-registered drivers.  Ordered so
-  // the replay order is deterministic.
-  std::map<core::Port, Driver::AcceptFn> listens_;
+  // Name -> driver index for the connect("method", ...) hot path.  The
+  // first registration of a name wins, matching what the old linear
+  // scan returned for (pathological) duplicate names.
+  std::unordered_map<std::string, Driver*> by_name_;
+  // Sticky listens, replayed onto late-registered drivers.  Hash map —
+  // add_driver sorts the ports before replaying so the replay order
+  // stays deterministic.
+  std::unordered_map<core::Port, Driver::AcceptFn> listens_;
   std::unique_ptr<SelectionPolicy> default_policy_;
   SelectionPolicy* policy_;  // borrowed; defaults to default_policy_
 };

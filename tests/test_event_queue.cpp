@@ -18,6 +18,7 @@
 
 #include "core/engine.hpp"
 #include "core/event_queue.hpp"
+#include "core/fastpath.hpp"
 #include "core/rng.hpp"
 #include "core/time.hpp"
 #include "scenario/scenario.hpp"
@@ -214,6 +215,20 @@ sc::Report run_thousand(const pc::QueueConfig& cfg) {
 }  // namespace
 
 TEST(EventQueueDigest, ThousandNodeScenarioMatchesPreRefactorRecording) {
+  const sc::Report r = run_thousand(pc::QueueConfig{});
+  EXPECT_EQ(r.digest, kRecordedDigest);
+  EXPECT_EQ(r.events, kRecordedEvents);
+  EXPECT_EQ(r.duration, kRecordedDuration);
+}
+
+TEST(EventQueueDigest, FastLaneOffReproducesTheSameRecording) {
+  // The session-open fast lane (selector cache, fast-open handshake,
+  // inline VIO dispatch) defaults ON, so the recordings above already
+  // cover it.  The reference path — uncached chooser, full precheck,
+  // coroutine clients — must schedule the exact same events.
+  pc::ScopedFastPathConfig ref(pc::FastPathConfig{.selector_cache = false,
+                                                  .fast_open = false,
+                                                  .inline_vio = false});
   const sc::Report r = run_thousand(pc::QueueConfig{});
   EXPECT_EQ(r.digest, kRecordedDigest);
   EXPECT_EQ(r.events, kRecordedEvents);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/core.hpp"
+#include "core/fastpath.hpp"
 #include "simnet/simnet.hpp"
 #include "vlink/net_driver.hpp"
 
@@ -199,6 +200,98 @@ TEST(VLink, LinkMayOutliveDriver) {
   EXPECT_EQ(a->remote_node(), 1u);
   a.reset();
   b.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Fast-open handshake (the session-open fast lane at driver level)
+// ---------------------------------------------------------------------------
+
+TEST(VLinkFastOpen, RevisitedPairConnectsAgainAndAgain) {
+  // The first accept records a fast-open intent for (peer, port); every
+  // revisit takes the lean path.  Outcomes and virtual timings must be
+  // indistinguishable from the full handshake.
+  Rig rig;
+  auto [a1, b1] = rig.link_pair("madio", 4600);
+  const pc::SimTime first_rtt = rig.engine.now();
+  auto [a2, b2] = rig.link_pair("madio", 4600);
+  EXPECT_EQ(rig.engine.now(), 2 * first_rtt);  // same one-RTT cost
+  EXPECT_EQ(a2->remote_node(), 1u);
+  EXPECT_EQ(b2->remote_node(), 0u);
+}
+
+TEST(VLinkFastOpen, DetachClearsIntentsSoRevisitFailsCleanly) {
+  Rig rig;
+  auto [a, b] = rig.link_pair("madio", 4650);
+  // Detaching the server node is the one event that shrinks
+  // reachability: the recorded intent must die with it, so the revisit
+  // fails the precheck synchronously instead of firing a frame into a
+  // network that no longer knows the node.
+  rig.fabric.network(rig.net_id).detach(1);
+  std::optional<pc::Status> status;
+  rig.v0->connect("madio", {1, 4650},
+                  [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+                    status = r.status();
+                  });
+  EXPECT_EQ(status, pc::Status::unreachable);
+}
+
+TEST(VLinkFastOpen, RefuseDropsTheIntent) {
+  Rig rig;
+  auto [a, b] = rig.link_pair("madio", 4700);
+  rig.v1->driver("madio")->unlisten(4700);
+  // The revisit takes the fast path (intent on file) but the server
+  // refuses now — which also retires the intent, so the next attempt
+  // walks the normal precheck path to the same answer.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::optional<pc::Status> status;
+    rig.v0->connect("madio", {1, 4700},
+                    [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+                      status = r.status();
+                    });
+    rig.engine.run_until_idle();
+    EXPECT_EQ(status, pc::Status::refused);
+  }
+}
+
+TEST(VLinkFastOpen, AlternatingPortsExerciseTheMruListenerSlot) {
+  // Two live listeners: the per-driver MRU accept slot keeps swapping,
+  // and must never route a connect to the wrong port's acceptor.
+  Rig rig;
+  int on_a = 0, on_b = 0;
+  rig.v1->driver("madio")->listen(
+      4800, [&](std::unique_ptr<vl::Link>) { ++on_a; });
+  rig.v1->driver("madio")->listen(
+      4801, [&](std::unique_ptr<vl::Link>) { ++on_b; });
+  for (int round = 0; round < 3; ++round) {
+    for (pc::Port port : {pc::Port{4800}, pc::Port{4801}}) {
+      bool ok = false;
+      rig.v0->connect("madio", {1, port},
+                      [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+                        ok = r.ok();
+                      });
+      rig.engine.run_until_idle();
+      EXPECT_TRUE(ok);
+    }
+  }
+  EXPECT_EQ(on_a, 3);
+  EXPECT_EQ(on_b, 3);
+}
+
+TEST(VLinkFastOpen, DisabledModeBehavesIdentically) {
+  // fast_open=false drivers never record intents or the MRU slot; the
+  // observable behaviour stays the same.
+  pc::ScopedFastPathConfig off(pc::FastPathConfig{.fast_open = false});
+  Rig rig;
+  auto [a1, b1] = rig.link_pair("madio", 4900);
+  auto [a2, b2] = rig.link_pair("madio", 4900);
+  EXPECT_EQ(a2->remote_node(), 1u);
+  rig.fabric.network(rig.net_id).detach(1);
+  std::optional<pc::Status> status;
+  rig.v0->connect("madio", {1, 4900},
+                  [&](pc::Result<std::unique_ptr<vl::Link>> r) {
+                    status = r.status();
+                  });
+  EXPECT_EQ(status, pc::Status::unreachable);
 }
 
 TEST(VLink, ListenReachesDriversRegisteredAfterTheListenCall) {

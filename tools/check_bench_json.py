@@ -24,6 +24,17 @@ Baseline mode (default):
     "info" — recorded and printed, never gated.  Right for wall-clock
         absolutes, which depend on the machine running the job.
 
+History mode (composable with baseline mode):
+
+    check_bench_json.py --baseline ... --got bench-out/BENCH_engine.json \
+                        --history bench/history/BENCH_history.jsonl
+
+  Looks up the most recent history record carrying this bench's
+  metrics and prints the %-delta of every fresh mean against it —
+  trajectory context for the reviewer, never a gate (the baseline
+  bands/floors do the gating).  Missing history or a bench with no
+  prior record just notes the fact.
+
 Trace mode:
 
     check_bench_json.py --trace trace.json \
@@ -102,6 +113,44 @@ def check_bench(baseline_path, got_path, tolerance):
     return 0
 
 
+def report_history(history_path, got_path):
+    """Print %-delta of every fresh mean vs the last history record."""
+    got = load(got_path)
+    bench = got.get("bench")
+    if not bench or "metrics" not in got:
+        sys.exit(f"error: {got_path}: not a bench report (no bench/metrics)")
+    try:
+        with open(history_path) as f:
+            records = [json.loads(line) for line in f if line.strip()]
+    except FileNotFoundError:
+        print(f"history: {history_path} not found; no trajectory to report")
+        return
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {history_path}: invalid JSONL: {e}")
+
+    prev = None
+    for record in reversed(records):
+        if bench in record.get("benches", {}):
+            prev = record
+            break
+    if prev is None:
+        print(f"history: no prior '{bench}' record in {history_path}")
+        return
+
+    when = prev.get("ts", "?")
+    commit = prev.get("commit", "?")
+    print(f"history: vs '{bench}' record at {when} (commit {commit})")
+    prev_means = prev["benches"][bench]
+    for name, metric in sorted(got["metrics"].items()):
+        g = metric["mean"]
+        if name not in prev_means:
+            print(f"  new  {name}: {g:g} (no previous entry)")
+            continue
+        p = prev_means[name]
+        rel = (g - p) / p * 100 if p else float("inf")
+        print(f"  hist {name}: {p:g} -> {g:g} ({rel:+.2f}%)")
+
+
 def check_trace(trace_path, required):
     doc = load(trace_path)
     events = doc["traceEvents"] if isinstance(doc, dict) else doc
@@ -128,13 +177,21 @@ def main():
     ap.add_argument("--trace", help="Chrome trace-event JSON to check")
     ap.add_argument("--require-categories", default="",
                     help="comma-separated categories the trace must contain")
+    ap.add_argument("--history",
+                    help="BENCH_history.jsonl to report %%-deltas against "
+                         "(informational, never gates)")
     args = ap.parse_args()
 
     if args.trace:
         required = [c for c in args.require_categories.split(",") if c]
         sys.exit(check_trace(args.trace, required))
+    if args.history and args.got and not args.baseline:
+        report_history(args.history, args.got)
+        sys.exit(0)
     if not args.baseline or not args.got:
-        ap.error("need --baseline and --got (or --trace)")
+        ap.error("need --baseline and --got (or --trace, or --history)")
+    if args.history:
+        report_history(args.history, args.got)
     sys.exit(check_bench(args.baseline, args.got, args.tolerance))
 
 
